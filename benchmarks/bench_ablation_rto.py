@@ -1,0 +1,80 @@
+"""Ablation A3: SSP's 50 ms retransmission floor vs. TCP's 1 s (§2.2).
+
+"We reduce the lower limit on the retransmission timeout to be 50 ms
+instead of one second. SSH runs over TCP and rarely benefits from fast
+retransmissions, meaning it generally cannot detect a dropped keystroke
+in less than a second."
+
+Setup: an interactive echo session on a fast (20 ms RTT) link with 10 %
+loss. A dropped keystroke datagram must be retransmitted; the recovery
+time is bounded by the RTO floor. We compare SSP with the Mosh floor
+against an SSP variant configured with TCP's one-second floor.
+
+Run: pytest benchmarks/bench_ablation_rto.py --benchmark-only -s
+"""
+
+from conftest import print_table
+
+import repro.network.interface as iface
+from repro.analysis.stats import summarize_latencies
+from repro.network.rtt import RttEstimator
+from repro.session import InProcessSession
+from repro.simnet import LinkConfig
+
+
+def echo_latencies(min_rto_ms: float, n: int = 150) -> list[float]:
+    session = InProcessSession(
+        LinkConfig(delay_ms=10.0, loss=0.10),
+        LinkConfig(delay_ms=10.0, loss=0.10),
+        seed=13,
+    )
+    # Override the RTO floor on both endpoints (the ablation knob).
+    for endpoint in (session.client_endpoint, session.server_endpoint):
+        endpoint._rtt = RttEstimator(min_rto_ms=min_rto_ms, max_rto_ms=120_000.0)
+    session.server.on_input = lambda d: session.server.host_write(d)
+    session.connect()
+
+    latencies: list[float] = []
+    pending: list[float] = []
+
+    def resolve(t: float) -> None:
+        while pending and pending[0] <= t:
+            latencies.append(t - pending.pop(0))
+
+    session.client.on_display_change = resolve
+    for i in range(n):
+        session.loop.schedule_at(
+            3000 + i * 500,
+            lambda i=i: (
+                pending.append(session.loop.now()),
+                session.client.type_bytes(bytes([97 + i % 26])),
+            ),
+        )
+    session.loop.run_until(3000 + n * 500 + 30_000)
+    return latencies
+
+
+def run_rto_ablation():
+    return {
+        "mosh-50ms": summarize_latencies(echo_latencies(50.0)),
+        "tcp-1000ms": summarize_latencies(echo_latencies(1000.0)),
+    }
+
+
+def test_ablation_rto_floor(benchmark):
+    out = benchmark.pedantic(run_rto_ablation, rounds=1, iterations=1)
+    fast, slow = out["mosh-50ms"], out["tcp-1000ms"]
+    rows = [
+        f"{'RTO floor':>12s}{'median':>12s}{'mean':>12s}{'p99':>12s}",
+        f"{'50 ms':>12s}{fast.median_ms:>9.0f} ms{fast.mean_ms:>9.0f} ms"
+        f"{fast.p99_ms:>9.0f} ms",
+        f"{'1000 ms':>12s}{slow.median_ms:>9.0f} ms{slow.mean_ms:>9.0f} ms"
+        f"{slow.p99_ms:>9.0f} ms",
+    ]
+    print_table("Ablation A3 — keystroke echo, 20 ms RTT, 10% loss", rows)
+
+    # Medians match (most keystrokes aren't dropped); the tail differs by
+    # roughly the ratio of the floors.
+    assert abs(fast.median_ms - slow.median_ms) < 50.0
+    assert slow.p99_ms > 2.5 * fast.p99_ms
+    assert slow.mean_ms > fast.mean_ms

@@ -1,0 +1,82 @@
+"""Figure 2: CDF of keystroke response times over Sprint EV-DO (3G).
+
+Paper results (§4, Figure 2):
+
+    Mosh  median    5 ms   mean 173 ms    ≈70% of keystrokes instant
+    SSH   median  503 ms   mean 515 ms
+
+plus the in-text statistics: 0.9 % of keystrokes showed an erroneous
+prediction (repaired within an RTT), and the delayed ACK piggybacked on
+host data in more than 99.9 % of cases.
+
+Run: pytest benchmarks/bench_fig2_evdo.py --benchmark-only -s
+"""
+
+from conftest import print_table
+
+from repro.analysis.charts import ascii_cdf
+from repro.analysis.stats import cdf_points
+from repro.simnet import evdo_profile
+from repro.traces import generate_all_personas, replay_mosh, replay_ssh
+
+
+def run_evdo_experiment(scale: float):
+    uplink, downlink = evdo_profile()
+    mosh_all = ssh_all = None
+    for trace in generate_all_personas(seed=1, scale=scale):
+        mosh_result, _ = replay_mosh(trace, uplink, downlink, seed=2)
+        ssh_result, _ = replay_ssh(trace, uplink, downlink, seed=2)
+        mosh_all = (
+            mosh_result if mosh_all is None else mosh_all.merged_with(mosh_result)
+        )
+        ssh_all = ssh_result if ssh_all is None else ssh_all.merged_with(ssh_result)
+    return mosh_all, ssh_all
+
+
+def test_fig2_keystroke_response_cdf(benchmark, scale):
+    mosh, ssh = benchmark.pedantic(
+        run_evdo_experiment, args=(scale,), rounds=1, iterations=1
+    )
+    ms, ss = mosh.summary(), ssh.summary()
+    rows = [
+        f"{'':24s}{'paper':>24s}{'reproduced':>24s}",
+        f"{'Mosh median':24s}{'5 ms':>24s}{ms.median_ms:>21.1f} ms",
+        f"{'Mosh mean':24s}{'173 ms':>24s}{ms.mean_ms:>21.1f} ms",
+        f"{'SSH median':24s}{'503 ms':>24s}{ss.median_ms:>21.1f} ms",
+        f"{'SSH mean':24s}{'515 ms':>24s}{ss.mean_ms:>21.1f} ms",
+        f"{'instant keystrokes':24s}{'~70 %':>24s}"
+        f"{mosh.instant_fraction * 100:>22.1f} %",
+        f"{'visible mispredictions':24s}{'0.9 %':>24s}"
+        f"{mosh.mispredictions / mosh.keystrokes * 100:>22.2f} %",
+        f"{'acks piggybacked':24s}{'>99.9 %':>24s}"
+        f"{mosh.piggybacked_acks / max(1, mosh.piggybacked_acks + mosh.standalone_acks) * 100:>22.1f} %",
+        "",
+        "CDF (fraction of keystrokes answered within t):",
+        f"{'t':>10s}{'Mosh':>10s}{'SSH':>10s}",
+    ]
+    xs = [1, 5, 50, 100, 200, 300, 400, 500, 600, 800, 1000]
+    mosh_cdf = dict(cdf_points(mosh.latencies_ms, xs))
+    ssh_cdf = dict(cdf_points(ssh.latencies_ms, xs))
+    for x in xs:
+        rows.append(f"{x:>8d}ms{mosh_cdf[x]:>10.2f}{ssh_cdf[x]:>10.2f}")
+    rows.append("")
+    rows.extend(
+        ascii_cdf(
+            {"Mosh": mosh.latencies_ms, "SSH": ssh.latencies_ms},
+            x_max_ms=1000.0,
+        ).splitlines()
+    )
+    print_table(
+        f"Figure 2 — Sprint EV-DO (3G), n={mosh.keystrokes} keystrokes", rows
+    )
+
+    # Shape assertions: who wins and by roughly what factor.
+    assert ms.median_ms < 10.0, "Mosh median should be near-instant"
+    assert 400.0 < ss.median_ms < 700.0, "SSH median should be ≈ RTT"
+    assert ms.mean_ms < ss.mean_ms / 1.5
+    assert mosh.instant_fraction > 0.55
+    assert mosh.mispredictions / mosh.keystrokes < 0.03
+    piggyback = mosh.piggybacked_acks / max(
+        1, mosh.piggybacked_acks + mosh.standalone_acks
+    )
+    assert piggyback > 0.95

@@ -1,0 +1,76 @@
+"""Loss table: 100 ms RTT, 29 % i.i.d. loss each direction (§4).
+
+Paper results (predictive echo disabled — pure transport comparison):
+
+                             Median     Mean       σ
+    SSH                      0.416 s   16.8 s    52.2 s
+    Mosh (no predictions)    0.222 s    0.329 s   1.63 s
+
+TCP's loss-induced exponential backoff produces the enormous tail; SSP
+retries every RTO (50 ms floor, 1 s cap) and can skip intermediate screen
+states, so its tail stays short.
+
+Run: pytest benchmarks/bench_table_loss.py --benchmark-only -s
+"""
+
+from conftest import print_table
+
+from repro.prediction.engine import DisplayPreference
+from repro.simnet import lossy_profile
+from repro.traces import generate_all_personas, replay_mosh, replay_ssh
+
+
+def run_loss_experiment(scale: float):
+    """Replay the corpus with predictions off, like the paper.
+
+    TCP's tail statistics are dominated by rare deep-backoff events
+    (losing the same retransmission many times in a row), so they only
+    materialize over long sessions — the paper's mean of 16.8 s and σ of
+    52.2 s come from multi-minute stalls. Longer traces reproduce deeper
+    tails.
+    """
+    uplink, downlink = lossy_profile()
+    mosh_all = ssh_all = None
+    for trace in generate_all_personas(seed=4, scale=max(scale, 0.05)):
+        mosh, _ = replay_mosh(
+            trace,
+            uplink,
+            downlink,
+            seed=6,
+            preference=DisplayPreference.NEVER,  # "without ... predictions"
+        )
+        # Give each session's backoff tail time to drain.
+        ssh, _ = replay_ssh(
+            trace, uplink, downlink, seed=6, settle_ms=400_000.0
+        )
+        mosh_all = mosh if mosh_all is None else mosh_all.merged_with(mosh)
+        ssh_all = ssh if ssh_all is None else ssh_all.merged_with(ssh)
+    return mosh_all, ssh_all
+
+
+def test_table_packet_loss(benchmark, scale):
+    mosh, ssh = benchmark.pedantic(
+        run_loss_experiment, args=(scale,), rounds=1, iterations=1
+    )
+    ms, ss = mosh.summary(), ssh.summary()
+    rows = [
+        f"{'':22s}{'Median':>12s}{'Mean':>12s}{'sigma':>12s}",
+        f"{'SSH paper':22s}{'0.416 s':>12s}{'16.8 s':>12s}{'52.2 s':>12s}",
+        f"{'SSH repro':22s}{ss.median_ms / 1000:>10.3f} s"
+        f"{ss.mean_ms / 1000:>10.2f} s{ss.stddev_ms / 1000:>10.2f} s",
+        f"{'Mosh paper (no pred)':22s}{'0.222 s':>12s}{'0.329 s':>12s}{'1.63 s':>12s}",
+        f"{'Mosh repro (no pred)':22s}{ms.median_ms / 1000:>10.3f} s"
+        f"{ms.mean_ms / 1000:>10.2f} s{ms.stddev_ms / 1000:>10.2f} s",
+        "",
+        f"SSH p99: {ss.p99_ms / 1000:.1f} s   Mosh p99: {ms.p99_ms / 1000:.2f} s",
+    ]
+    print_table(
+        f"100 ms RTT, 29% loss each way, n={mosh.keystrokes} keystrokes", rows
+    )
+
+    # Shape: both medians modest; SSH's mean and σ blow up, Mosh's don't.
+    assert ms.median_ms < 600.0
+    assert ms.mean_ms < 1500.0
+    assert ss.mean_ms > 3 * ms.mean_ms, "TCP backoff tail should dominate"
+    assert ss.stddev_ms > 3 * ms.stddev_ms
+    assert ss.p99_ms > 5000.0, "TCP should show multi-second stalls"

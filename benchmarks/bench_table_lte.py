@@ -1,0 +1,69 @@
+"""LTE table: Verizon LTE with one concurrent TCP download (§4).
+
+Paper results:
+
+                Median latency    Mean      σ
+    SSH              5.36 s      5.03 s   2.14 s
+    Mosh           < 0.005 s     1.70 s   2.60 s
+
+The mechanism is bufferbloat: the bulk download keeps a deep drop-tail
+buffer full, so everything sharing it sees seconds of queueing delay.
+Mosh's predictions hide it for most keystrokes; SSH cannot.
+
+Run: pytest benchmarks/bench_table_lte.py --benchmark-only -s
+"""
+
+from conftest import print_table
+
+from repro.simnet import lte_bufferbloat_profile
+from repro.traces import generate_all_personas, replay_mosh, replay_ssh
+
+
+def run_lte_experiment(scale: float):
+    uplink, downlink = lte_bufferbloat_profile()
+    mosh_all = ssh_all = None
+    # Dilate to the paper's keystroke density: with ≈5 s of standing
+    # queue, prediction confirmations ride out during the pauses between
+    # bursts, exactly as in the real 40-hour traces.
+    for trace in (
+        t.dilated(5.0) for t in generate_all_personas(seed=1, scale=scale)
+    ):
+        mosh_result, _ = replay_mosh(
+            trace, uplink, downlink, seed=2, cross_traffic=True
+        )
+        ssh_result, _ = replay_ssh(
+            trace, uplink, downlink, seed=2, cross_traffic=True
+        )
+        mosh_all = (
+            mosh_result if mosh_all is None else mosh_all.merged_with(mosh_result)
+        )
+        ssh_all = ssh_result if ssh_all is None else ssh_all.merged_with(ssh_result)
+    return mosh_all, ssh_all
+
+
+def test_table_lte_bufferbloat(benchmark, scale):
+    # The bulk flow plus 5x time dilation makes these replays heavy; cap
+    # the trace scale (REPRO_BENCH_SCALE still raises it deliberately).
+    mosh, ssh = benchmark.pedantic(
+        run_lte_experiment, args=(min(scale, 0.05),), rounds=1, iterations=1
+    )
+    ms, ss = mosh.summary(), ssh.summary()
+    rows = [
+        f"{'':14s}{'Median':>14s}{'Mean':>12s}{'sigma':>12s}",
+        f"{'SSH paper':14s}{'5.36 s':>14s}{'5.03 s':>12s}{'2.14 s':>12s}",
+        f"{'SSH repro':14s}{ss.median_ms / 1000:>12.2f} s"
+        f"{ss.mean_ms / 1000:>10.2f} s{ss.stddev_ms / 1000:>10.2f} s",
+        f"{'Mosh paper':14s}{'<0.005 s':>14s}{'1.70 s':>12s}{'2.60 s':>12s}",
+        f"{'Mosh repro':14s}{ms.median_ms / 1000:>12.3f} s"
+        f"{ms.mean_ms / 1000:>10.2f} s{ms.stddev_ms / 1000:>10.2f} s",
+    ]
+    print_table(
+        f"LTE + concurrent download (bufferbloat), n={mosh.keystrokes}", rows
+    )
+
+    # Shape: SSH sees seconds of queueing; Mosh's median stays instant
+    # while its mean reflects unpredicted keystrokes crossing the queue.
+    assert ss.median_ms > 1500.0, "SSH should suffer multi-second bufferbloat"
+    assert ms.median_ms < 10.0, "Mosh median should stay near-instant"
+    assert ms.mean_ms < ss.mean_ms
+    assert ms.mean_ms > 100.0, "unpredicted keystrokes still cross the queue"

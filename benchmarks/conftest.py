@@ -1,0 +1,30 @@
+"""Shared benchmark configuration.
+
+Every benchmark replays keystroke traces in the simulator. Full paper
+scale (≈10,000 keystrokes) takes a few minutes per scenario; the default
+scale keeps a full benchmark run under a couple of minutes. Set
+``REPRO_BENCH_SCALE=1.0`` for the full-size run.
+"""
+
+import os
+
+import pytest
+
+
+def bench_scale() -> float:
+    return float(os.environ.get("REPRO_BENCH_SCALE", "0.15"))
+
+
+@pytest.fixture(scope="session")
+def scale() -> float:
+    return bench_scale()
+
+
+def print_table(title: str, rows: list[str]) -> None:
+    width = max(len(title), *(len(r) for r in rows)) if rows else len(title)
+    print("\n" + "=" * width)
+    print(title)
+    print("=" * width)
+    for row in rows:
+        print(row)
+    print("=" * width)

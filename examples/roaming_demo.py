@@ -1,0 +1,48 @@
+#!/usr/bin/env python3
+"""Roaming: the client changes IP address mid-session and nothing breaks.
+
+"Every time the server receives an authentic datagram from the client with
+a sequence number greater than any before, it sets the packet's source IP
+address and UDP port number as its new target" (§2.2). The client never
+even learns it roamed.
+
+Run:  python examples/roaming_demo.py
+"""
+
+from repro.session import InProcessSession
+from repro.simnet import LinkConfig
+
+
+def main() -> None:
+    session = InProcessSession(
+        LinkConfig(delay_ms=40.0), LinkConfig(delay_ms=40.0), seed=7, encrypt=True
+    )
+
+    def shell(data: bytes) -> None:
+        session.loop.schedule(
+            3.0, lambda d=data: session.server.host_write(d)
+        )
+
+    session.server.on_input = shell
+    session.connect()
+
+    session.loop.schedule_at(2500, lambda: session.client.type_bytes(b"before-"))
+    session.loop.run_until(4000)
+    print("server targets:", session.server_endpoint.remote_addr)
+
+    # The laptop moves from Wi-Fi to cellular: new source address.
+    session.client_endpoint.roam("client-cellular")
+    print("client roamed to client-cellular (server not told)")
+
+    session.loop.schedule_at(4500, lambda: session.client.type_bytes(b"after"))
+    session.loop.run_until(8000)
+
+    print("server now targets:", session.server_endpoint.remote_addr)
+    print("server screen:", repr(session.server.terminal.fb.row_text(0).rstrip()))
+    assert session.server_endpoint.remote_addr == "client-cellular"
+    assert "before-after" in session.server.terminal.fb.row_text(0)
+    print("roaming was seamless: no timeout, no reconnect, no lost keys")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+The offline build environment lacks the ``wheel`` package, so ``pip install
+-e .`` must use the legacy setuptools editable path, which requires this
+file. All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,22 @@
+"""repro — a Python reproduction of Mosh (Winstein & Balakrishnan, USENIX
+ATC 2012): the State Synchronization Protocol, a server-side terminal
+emulator, and speculative local echo, plus the simulated substrates the
+paper's evaluation needs.
+
+Quick tour of the public surface:
+
+>>> from repro.session import InProcessSession        # whole system, simulated
+>>> from repro.simnet import evdo_profile, LinkConfig # network conditions
+>>> from repro.traces import generate_all_personas, replay_mosh, replay_ssh
+>>> from repro.terminal import Emulator, Display, Complete
+>>> from repro.prediction import PredictionEngine
+>>> from repro.app import ServerApp, ClientApp        # real pty + UDP
+
+See README.md for a guided example and DESIGN.md for the architecture.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+]

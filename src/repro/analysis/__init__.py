@@ -1,0 +1,24 @@
+"""Statistics and charting helpers used by the evaluation harness."""
+
+from repro.analysis.charts import ascii_cdf, ascii_curve
+from repro.analysis.stats import (
+    LatencySummary,
+    cdf_points,
+    mean,
+    median,
+    percentile,
+    stddev,
+    summarize_latencies,
+)
+
+__all__ = [
+    "LatencySummary",
+    "ascii_cdf",
+    "ascii_curve",
+    "cdf_points",
+    "mean",
+    "median",
+    "percentile",
+    "stddev",
+    "summarize_latencies",
+]

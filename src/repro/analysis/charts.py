@@ -1,0 +1,114 @@
+"""Terminal-friendly charts for the experiment harness.
+
+The paper presents Figure 2 as a CDF plot and Figure 3 as a log-x curve;
+these helpers render comparable ASCII versions so a benchmark run shows
+the *shape* of each result, not just summary numbers.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+
+def ascii_cdf(
+    series: dict[str, Sequence[float]],
+    x_max_ms: float,
+    width: int = 64,
+    height: int = 16,
+) -> str:
+    """Render cumulative distributions of latency series (ms).
+
+    Each series gets a marker character; the y axis is percent of
+    keystrokes, the x axis milliseconds from 0 to ``x_max_ms``.
+    """
+    if not series:
+        raise ValueError("no series to plot")
+    markers = "*o+x#@"
+    grid = [[" "] * width for _ in range(height)]
+    for idx, (_, values) in enumerate(series.items()):
+        if not values:
+            continue
+        ordered = sorted(values)
+        n = len(ordered)
+        marker = markers[idx % len(markers)]
+        for col in range(width):
+            x = (col + 0.5) / width * x_max_ms
+            # fraction of samples <= x
+            lo, hi = 0, n
+            while lo < hi:
+                mid = (lo + hi) // 2
+                if ordered[mid] <= x:
+                    lo = mid + 1
+                else:
+                    hi = mid
+            frac = lo / n
+            row = height - 1 - min(height - 1, int(frac * (height - 1) + 0.5))
+            grid[row][col] = marker
+    lines = []
+    for row in range(height):
+        pct = 100 - int(row / (height - 1) * 100)
+        lines.append(f"{pct:>4d}% |" + "".join(grid[row]))
+    lines.append("      +" + "-" * width)
+    left = "0"
+    mid = f"{x_max_ms / 2:.0f}"
+    right = f"{x_max_ms:.0f} ms"
+    pad = width - len(left) - len(mid) - len(right)
+    lines.append(
+        "       " + left + " " * (pad // 2) + mid + " " * (pad - pad // 2) + right
+    )
+    legend = "   ".join(
+        f"{markers[i % len(markers)]} {name}" for i, name in enumerate(series)
+    )
+    lines.append("       " + legend)
+    return "\n".join(lines)
+
+
+def ascii_curve(
+    points: Sequence[tuple[float, float]],
+    width: int = 60,
+    height: int = 14,
+    log_x: bool = True,
+    y_label: str = "",
+) -> str:
+    """Render an (x, y) curve, optionally with a log-scaled x axis
+    (Figure 3 plots the collection interval on a log axis)."""
+    if not points:
+        raise ValueError("no points to plot")
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    fx = (lambda v: math.log10(v)) if log_x else (lambda v: v)
+    x_lo, x_hi = fx(min(xs)), fx(max(xs))
+    y_lo, y_hi = min(ys), max(ys)
+    y_span = (y_hi - y_lo) or 1.0
+    x_span = (x_hi - x_lo) or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for x, y in points:
+        col = min(width - 1, int((fx(x) - x_lo) / x_span * (width - 1) + 0.5))
+        row = height - 1 - min(
+            height - 1, int((y - y_lo) / y_span * (height - 1) + 0.5)
+        )
+        grid[row][col] = "o"
+    lines = []
+    for row in range(height):
+        value = y_hi - row / (height - 1) * y_span
+        lines.append(f"{value:>8.1f} |" + "".join(grid[row]))
+    lines.append(" " * 9 + "+" + "-" * width)
+    ticks = "          "
+    labels = [f"{x:g}" for x in xs]
+    # sparse labels: first, middle, last
+    chosen = {0: labels[0], len(xs) // 2: labels[len(xs) // 2], len(xs) - 1: labels[-1]}
+    positions = {
+        i: min(width - 1, int((fx(xs[i]) - x_lo) / x_span * (width - 1)))
+        for i in chosen
+    }
+    axis = [" "] * (width + 2)
+    for i, label in chosen.items():
+        pos = positions[i]
+        for j, ch in enumerate(label):
+            if pos + j < len(axis):
+                axis[pos + j] = ch
+    lines.append(ticks + "".join(axis) + ("  (ms, log)" if log_x else ""))
+    if y_label:
+        lines.insert(0, f"   {y_label}")
+    return "\n".join(lines)

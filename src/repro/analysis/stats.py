@@ -1,0 +1,122 @@
+"""Latency statistics for the paper's tables and figures.
+
+The paper reports median, mean, and standard deviation of keystroke response
+times (Figure 2 and the three tables in §4), plus cumulative distributions.
+These helpers compute them without depending on numpy so the core library
+stays dependency-free (benchmarks may still use numpy for speed).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+
+def mean(values: Sequence[float]) -> float:
+    """Arithmetic mean. Raises ValueError on empty input."""
+    if not values:
+        raise ValueError("mean of empty sequence")
+    return sum(values) / len(values)
+
+
+def median(values: Sequence[float]) -> float:
+    """Median (average of middle two for even lengths)."""
+    if not values:
+        raise ValueError("median of empty sequence")
+    ordered = sorted(values)
+    n = len(ordered)
+    mid = n // 2
+    if n % 2:
+        return ordered[mid]
+    return (ordered[mid - 1] + ordered[mid]) / 2.0
+
+
+def stddev(values: Sequence[float]) -> float:
+    """Population standard deviation (the paper's σ columns)."""
+    if not values:
+        raise ValueError("stddev of empty sequence")
+    mu = mean(values)
+    return math.sqrt(sum((v - mu) ** 2 for v in values) / len(values))
+
+
+def percentile(values: Sequence[float], pct: float) -> float:
+    """Linear-interpolated percentile, ``pct`` in [0, 100]."""
+    if not values:
+        raise ValueError("percentile of empty sequence")
+    if not 0.0 <= pct <= 100.0:
+        raise ValueError(f"percentile {pct} outside [0, 100]")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (pct / 100.0) * (len(ordered) - 1)
+    lo = int(math.floor(rank))
+    hi = int(math.ceil(rank))
+    if lo == hi:
+        return ordered[lo]
+    frac = rank - lo
+    return ordered[lo] * (1.0 - frac) + ordered[hi] * frac
+
+
+def cdf_points(
+    values: Sequence[float], points: Iterable[float]
+) -> list[tuple[float, float]]:
+    """Return (x, fraction of values <= x) pairs, for plotting Figure 2.
+
+    ``points`` are the x positions to evaluate; the result fraction is in
+    [0, 1].
+    """
+    if not values:
+        raise ValueError("cdf of empty sequence")
+    ordered = sorted(values)
+    n = len(ordered)
+    out: list[tuple[float, float]] = []
+    for x in points:
+        # binary search for rightmost index with value <= x
+        lo, hi = 0, n
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if ordered[mid] <= x:
+                lo = mid + 1
+            else:
+                hi = mid
+        out.append((x, lo / n))
+    return out
+
+
+@dataclass(frozen=True)
+class LatencySummary:
+    """Median / mean / σ over a set of latencies, all in milliseconds."""
+
+    count: int
+    median_ms: float
+    mean_ms: float
+    stddev_ms: float
+    p99_ms: float
+
+    def row(self, label: str) -> str:
+        """Format as a table row matching the paper's presentation."""
+        return (
+            f"{label:<24s} median {_fmt(self.median_ms):>10s}"
+            f"  mean {_fmt(self.mean_ms):>10s}"
+            f"  sigma {_fmt(self.stddev_ms):>10s}"
+            f"  (n={self.count})"
+        )
+
+
+def _fmt(ms: float) -> str:
+    """Render a millisecond value like the paper (ms below 1 s, else s)."""
+    if ms < 1000.0:
+        return f"{ms:.1f} ms"
+    return f"{ms / 1000.0:.2f} s"
+
+
+def summarize_latencies(latencies_ms: Sequence[float]) -> LatencySummary:
+    """Build a :class:`LatencySummary` from raw per-keystroke latencies."""
+    return LatencySummary(
+        count=len(latencies_ms),
+        median_ms=median(latencies_ms),
+        mean_ms=mean(latencies_ms),
+        stddev_ms=stddev(latencies_ms),
+        p99_ms=percentile(latencies_ms, 99.0),
+    )

@@ -1,0 +1,15 @@
+"""The real application: pty-backed server and tty client over UDP.
+
+This is the deployable shape of the reproduction — the same layering as
+the ``mosh-server`` / ``mosh-client`` binaries:
+
+* :mod:`repro.app.pty_host` — spawns the user's shell on a pty;
+* :mod:`repro.app.server` — pty + terminal emulator + SSP over real UDP;
+* :mod:`repro.app.client` — raw-mode tty, predictions, frame rendering.
+"""
+
+from repro.app.pty_host import PtyHost
+from repro.app.server import ServerApp
+from repro.app.client import ClientApp
+
+__all__ = ["ClientApp", "PtyHost", "ServerApp"]

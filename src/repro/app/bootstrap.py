@@ -1,0 +1,119 @@
+"""Session bootstrap: the `mosh` wrapper script (§2.1).
+
+"To bootstrap the session, the user runs a script that logs in to the
+remote host using conventional means (e.g., SSH) and runs the unprivileged
+server. This program listens on a high UDP port and prints out a random
+shared encryption key. The system then shuts down the SSH connection and
+talks directly to the server over UDP."
+
+:func:`bootstrap` runs exactly that dance over any transport command —
+``ssh user@host`` in production, ``sh -c`` in tests — so key exchange
+stays out-of-band and SSP itself never authenticates anybody.
+"""
+
+from __future__ import annotations
+
+import shlex
+import subprocess
+from dataclasses import dataclass
+
+from repro.crypto.keys import Base64Key
+from repro.errors import CryptoError, NetworkError
+
+CONNECT_PREFIX = "MOSH CONNECT"
+
+
+@dataclass(frozen=True)
+class BootstrapResult:
+    """What the wrapper learned from the remote server's banner."""
+
+    host: str
+    port: int
+    key: Base64Key
+    #: The login transport, kept alive as the server's parent (our server
+    #: does not daemonize). Terminate it to end the remote server.
+    transport: subprocess.Popen | None = None
+
+    def shutdown(self) -> None:
+        if self.transport is not None and self.transport.poll() is None:
+            self.transport.terminate()
+            try:
+                self.transport.wait(timeout=3)
+            except subprocess.TimeoutExpired:
+                self.transport.kill()
+
+
+def parse_connect_line(line: str) -> tuple[int, Base64Key]:
+    """Parse ``MOSH CONNECT <port> <key>``."""
+    parts = line.strip().split()
+    if len(parts) != 4 or parts[0] != "MOSH" or parts[1] != "CONNECT":
+        raise NetworkError(f"not a MOSH CONNECT line: {line!r}")
+    try:
+        port = int(parts[2])
+    except ValueError as exc:
+        raise NetworkError(f"bad port in connect line: {parts[2]!r}") from exc
+    if not 0 < port < 65536:
+        raise NetworkError(f"port {port} out of range")
+    try:
+        key = Base64Key.from_printable(parts[3])
+    except CryptoError as exc:
+        raise NetworkError(f"bad session key in connect line: {exc}") from exc
+    return port, key
+
+
+def bootstrap(
+    host: str,
+    login_command: list[str] | None = None,
+    server_command: str = "repro-mosh-server",
+    timeout_s: float = 30.0,
+) -> BootstrapResult:
+    """Start the remote server and return its port and session key.
+
+    ``login_command`` is the conventional-means transport (defaults to
+    ``ssh <host>``); the server is launched through it and its stdout is
+    scanned for the connect line. All further communication is SSP over
+    UDP. One divergence from real mosh-server: this server does not
+    daemonize, so the transport process is intentionally left running as
+    its parent; ending the session ends it.
+    """
+    if login_command is None:
+        login_command = ["ssh", host]
+    command = login_command + [server_command]
+    try:
+        proc = subprocess.Popen(
+            command,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.DEVNULL,
+            text=True,
+        )
+    except OSError as exc:
+        raise NetworkError(
+            f"cannot run {shlex.join(command)}: {exc}"
+        ) from exc
+    try:
+        import select
+        import time
+
+        deadline = time.monotonic() + timeout_s
+        assert proc.stdout is not None
+        while time.monotonic() < deadline:
+            ready, _, _ = select.select([proc.stdout], [], [], 0.2)
+            if not ready:
+                if proc.poll() is not None:
+                    break
+                continue
+            line = proc.stdout.readline()
+            if not line:
+                break
+            if line.startswith(CONNECT_PREFIX):
+                port, key = parse_connect_line(line)
+                return BootstrapResult(
+                    host=host, port=port, key=key, transport=proc
+                )
+        raise NetworkError(
+            f"server never printed a {CONNECT_PREFIX} line via "
+            f"{shlex.join(login_command)}"
+        )
+    except Exception:
+        proc.terminate()
+        raise

@@ -1,0 +1,162 @@
+"""The real client: raw tty, predictions, differential rendering.
+
+Renders each new frame by diffing the previously painted frame against the
+prediction-overlaid state — the same :class:`~repro.terminal.Display`
+machinery used on the wire, pointed at the local terminal. When the
+server goes quiet past a few heartbeat intervals, a status line warns the
+user, like real Mosh's blue bar.
+"""
+
+from __future__ import annotations
+
+import os
+import select
+import sys
+import termios
+import tty
+
+from repro.clock import RealClock
+from repro.crypto.keys import Base64Key
+from repro.crypto.session import Session
+from repro.input.events import Resize, UserBytes
+from repro.input.userstream import UserStream
+from repro.network.connection import UdpConnection
+from repro.prediction.engine import DisplayPreference, PredictionEngine
+from repro.prediction.overlays import NotificationEngine
+from repro.terminal.complete import Complete
+from repro.terminal.display import Display
+from repro.terminal.framebuffer import Framebuffer
+from repro.transport.transport import Transport
+
+_DISCONNECT_WARN_MS = 9000.0
+
+
+class ClientApp:
+    """Interactive client connected to a :class:`repro.app.ServerApp`."""
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        key: Base64Key,
+        width: int = 80,
+        height: int = 24,
+        preference: DisplayPreference = DisplayPreference.ADAPTIVE,
+        stdin_fd: int | None = None,
+        stdout=None,
+    ) -> None:
+        self.connection = UdpConnection(Session(key), is_server=False)
+        self.connection.set_remote_addr((host, port))
+        self.transport: Transport[UserStream, Complete] = Transport(
+            self.connection, UserStream(), Complete(width, height)
+        )
+        self.predictor = PredictionEngine(preference)
+        self.notifications = NotificationEngine()
+        self._clock = RealClock()
+        self._stdin_fd = stdin_fd if stdin_fd is not None else sys.stdin.fileno()
+        self._stdout = stdout if stdout is not None else sys.stdout.buffer
+        self._painted: Framebuffer | None = None
+        self.running = False
+
+    # ------------------------------------------------------------------
+
+    def _srtt(self) -> float:
+        ep = self.connection
+        return ep.srtt if ep.has_rtt_sample else 1000.0
+
+    def send_input(self, data: bytes) -> None:
+        now = self._clock.now()
+        stream = self.transport.local_state
+        for byte in data:
+            stream.push_event(UserBytes(bytes([byte])))
+            self.predictor.new_user_byte(
+                byte,
+                self.transport.remote_state.fb,
+                now,
+                stream.total_count,
+                self._srtt(),
+            )
+        self.transport.tick(now)
+
+    def send_resize(self, cols: int, rows: int) -> None:
+        self.transport.local_state.push_event(Resize(cols=cols, rows=rows))
+        self.predictor.reset()
+        self.transport.tick(self._clock.now())
+
+    # ------------------------------------------------------------------
+
+    def render(self) -> None:
+        """Paint the display: frame + predictions + connectivity bar."""
+        state = self.transport.remote_state
+        now = self._clock.now()
+        shown = self.predictor.apply(state.fb)
+        shown = self.notifications.apply(shown, now)
+        diff = Display.new_frame(self._painted, shown)
+        if diff:
+            self._stdout.write(diff)
+            self._stdout.flush()
+        self._painted = shown.copy() if shown is state.fb else shown
+
+    def step(self, timeout_ms: float = 20.0) -> None:
+        now = self._clock.now()
+        wait = self.transport.wait_time(now)
+        if wait is None:
+            wait = timeout_ms
+        wait = max(0.0, min(wait, timeout_ms))
+        readable, _, _ = select.select(
+            [self.connection.fileno(), self._stdin_fd], [], [], wait / 1000.0
+        )
+        now = self._clock.now()
+        if self.connection.fileno() in readable:
+            if self.connection.receive_ready():
+                self.notifications.server_heard(now)
+                before = self.transport.remote_state_num
+                self.transport.tick(now)
+                if self.transport.remote_state_num != before:
+                    state = self.transport.remote_state
+                    self.predictor.report_frame(
+                        state.fb, state.echo_ack, now, self._srtt()
+                    )
+                    self.render()
+        if self._stdin_fd in readable:
+            data = os.read(self._stdin_fd, 4096)
+            if data:
+                self.send_input(data)
+                self.render()
+        self.transport.tick(self._clock.now())
+
+    # ------------------------------------------------------------------
+
+    def run(self) -> None:
+        """Interactive loop with the controlling tty in raw mode."""
+        old_attrs = termios.tcgetattr(self._stdin_fd)
+        tty.setraw(self._stdin_fd)
+        self.running = True
+        try:
+            self._stdout.write(b"\x1b[?1049h\x1b[2J")  # alternate screen
+            self._stdout.flush()
+            while self.running:
+                self.step()
+                if self._user_requested_quit():
+                    break
+        finally:
+            termios.tcsetattr(self._stdin_fd, termios.TCSADRAIN, old_attrs)
+            self._stdout.write(b"\x1b[?1049l\r\n[repro-mosh] disconnected\r\n")
+            self._stdout.flush()
+
+    def _user_requested_quit(self) -> bool:
+        # The escape hatch: server silence beyond the warning threshold
+        # plus a dead child is indistinguishable from a network partition,
+        # so interactive quit is Ctrl-^ (0x1E) handled in send_input by
+        # callers that want it; the library default never force-quits.
+        return False
+
+    def last_heard_age_ms(self) -> float | None:
+        heard = self.connection.last_heard
+        if heard is None:
+            return None
+        return self._clock.now() - heard
+
+    def close(self) -> None:
+        self.running = False
+        self.connection.close()

@@ -1,0 +1,98 @@
+"""Pseudo-terminal host: runs the user's shell on a pty.
+
+The Mosh server "runs an unprivileged server" that owns the application's
+controlling terminal. This wrapper spawns a command on a pty pair,
+provides non-blocking reads of its output, forwards input, and propagates
+window-size changes (TIOCSWINSZ + SIGWINCH semantics come free with the
+pty driver).
+"""
+
+from __future__ import annotations
+
+import fcntl
+import os
+import signal
+import struct
+import subprocess
+import termios
+
+from repro.errors import ReproError
+
+
+class PtyHost:
+    """A child process on a pseudo-terminal."""
+
+    def __init__(
+        self,
+        argv: list[str] | None = None,
+        width: int = 80,
+        height: int = 24,
+        env: dict[str, str] | None = None,
+    ) -> None:
+        self.argv = argv or [os.environ.get("SHELL", "/bin/sh")]
+        master, slave = os.openpty()
+        self._master = master
+        self.set_size(width, height)
+        child_env = dict(os.environ)
+        child_env["TERM"] = "xterm-256color"
+        if env:
+            child_env.update(env)
+        try:
+            self._proc = subprocess.Popen(
+                self.argv,
+                stdin=slave,
+                stdout=slave,
+                stderr=slave,
+                env=child_env,
+                start_new_session=True,
+                close_fds=True,
+            )
+        except OSError as exc:
+            os.close(master)
+            os.close(slave)
+            raise ReproError(f"cannot spawn {self.argv}: {exc}") from exc
+        os.close(slave)
+        flags = fcntl.fcntl(master, fcntl.F_GETFL)
+        fcntl.fcntl(master, fcntl.F_SETFL, flags | os.O_NONBLOCK)
+
+    # ------------------------------------------------------------------
+
+    def fileno(self) -> int:
+        return self._master
+
+    def read_available(self, limit: int = 65536) -> bytes:
+        """Non-blocking read; b'' means nothing available or child gone."""
+        try:
+            return os.read(self._master, limit)
+        except BlockingIOError:
+            return b""
+        except OSError:
+            return b""
+
+    def write(self, data: bytes) -> None:
+        try:
+            os.write(self._master, data)
+        except OSError:
+            pass  # child exited; the session notices via poll()
+
+    def set_size(self, width: int, height: int) -> None:
+        winsize = struct.pack("HHHH", height, width, 0, 0)
+        fcntl.ioctl(self._master, termios.TIOCSWINSZ, winsize)
+
+    def alive(self) -> bool:
+        return getattr(self, "_proc", None) is not None and self._proc.poll() is None
+
+    def terminate(self) -> None:
+        if self.alive():
+            try:
+                os.killpg(self._proc.pid, signal.SIGHUP)
+            except OSError:
+                self._proc.terminate()
+            try:
+                self._proc.wait(timeout=2)
+            except subprocess.TimeoutExpired:
+                self._proc.kill()
+        try:
+            os.close(self._master)
+        except OSError:
+            pass

@@ -1,0 +1,27 @@
+"""Scripted host applications.
+
+The paper's traces came from real sessions of bash/zsh, alpine/mutt,
+emacs/vim, irssi/barnowl, and links (§4). These models generate the same
+*interaction shapes* — echoed typing, full-screen navigation repaints,
+write clumping — as deterministic byte producers, which the trace
+generator records and the replay harness plays back.
+"""
+
+from repro.apps.base import HostApp, Write
+from repro.apps.chat import ChatApp
+from repro.apps.editor import EditorApp
+from repro.apps.mailer import MailReaderApp
+from repro.apps.monitor import MonitorApp
+from repro.apps.pager import PagerApp
+from repro.apps.shell import ShellApp
+
+__all__ = [
+    "ChatApp",
+    "EditorApp",
+    "HostApp",
+    "MailReaderApp",
+    "MonitorApp",
+    "PagerApp",
+    "ShellApp",
+    "Write",
+]

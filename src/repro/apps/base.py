@@ -1,0 +1,63 @@
+"""The host-application interface used by the trace generator."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from random import Random
+
+
+@dataclass(frozen=True)
+class Write:
+    """One pty write: ``delay_ms`` after the triggering input arrives.
+
+    Applications emit their response as several writes in close succession
+    ("updates to the screen tend to clump together", §2.3); the gaps drive
+    the Figure 3 collection-interval analysis.
+    """
+
+    delay_ms: float
+    data: bytes
+
+
+class HostApp(ABC):
+    """A deterministic model of an interactive terminal application."""
+
+    def __init__(self, rng: Random, width: int = 80, height: int = 24) -> None:
+        self.rng = rng
+        self.width = width
+        self.height = height
+
+    def startup(self) -> list[Write]:
+        """Output produced when the app launches (banner, first paint)."""
+        return []
+
+    @abstractmethod
+    def handle_input(self, data: bytes) -> list[Write]:
+        """The app's response to one keystroke (or key sequence)."""
+
+    # ------------------------------------------------------------------
+    # Shared helpers
+    # ------------------------------------------------------------------
+
+    def echo_delay(self) -> float:
+        """Typical time from input to first echo write (1–15 ms)."""
+        return self.rng.uniform(1.0, 15.0)
+
+    def clump_gap(self) -> float:
+        """Gap between successive writes of one response.
+
+        Most follow-up writes land back-to-back (the program calls
+        write(2) in a loop); a minority trail by tens of milliseconds
+        (another scheduling quantum, a slow redraw). This distribution is
+        what gives Figure 3 its shape: the 8 ms collection interval
+        catches the back-to-back writes while the stragglers bound how
+        much any interval can help.
+        """
+        if self.rng.random() < 0.6:
+            return self.rng.uniform(0.2, 5.0)
+        return self.rng.uniform(5.0, 80.0)
+
+    def cup(self, row: int, col: int) -> bytes:
+        """1-based cursor positioning."""
+        return f"\x1b[{row};{col}H".encode("ascii")

@@ -1,0 +1,73 @@
+"""A chat client (the irssi/barnowl stand-in).
+
+Typing echoes on the input line at the bottom; ENTER clears the input line
+and appends the message to the scrolling log region — two quick writes,
+exactly the clumping pattern chat clients produce.
+"""
+
+from __future__ import annotations
+
+from random import Random
+
+from repro.apps.base import HostApp, Write
+
+
+class ChatApp(HostApp):
+    def __init__(self, rng: Random, width: int = 80, height: int = 24) -> None:
+        super().__init__(rng, width, height)
+        self._input = bytearray()
+        self._log_row = 1
+        self.nick = "user"
+
+    def startup(self) -> list[Write]:
+        paint = (
+            b"\x1b[2J"
+            + self.cup(1, 1)
+            + b"[#systems] topic: state synchronization"
+            + self.cup(self.height - 1, 1)
+            + b"\x1b[7m"
+            + b"[12:00] [user(+i)] [1:#systems]".ljust(self.width)
+            + b"\x1b[0m"
+            + self.cup(self.height, 1)
+            + b"[#systems] "
+        )
+        self._log_row = 2
+        return [Write(2.0, paint)]
+
+    def handle_input(self, data: bytes) -> list[Write]:
+        writes: list[Write] = []
+        t = self.echo_delay()
+        for byte in data:
+            if byte in (0x7F, 0x08):
+                if self._input:
+                    self._input.pop()
+                    writes.append(Write(t, b"\x08 \x08"))
+            elif byte == 0x0D:
+                writes.extend(self._send_message(t))
+            elif 0x20 <= byte <= 0x7E:
+                self._input.append(byte)
+                writes.append(Write(t, bytes([byte])))
+            t += self.clump_gap()
+        return writes
+
+    def _send_message(self, t: float) -> list[Write]:
+        message = bytes(self._input)
+        self._input.clear()
+        log_line = b"<" + self.nick.encode() + b"> " + message
+        if self._log_row >= self.height - 2:
+            # scroll the log region: set region, scroll, restore
+            chunk = (
+                f"\x1b[1;{self.height - 2}r".encode()
+                + self.cup(self.height - 2, 1)
+                + b"\n"
+                + log_line[: self.width]
+                + b"\x1b[r"
+            )
+        else:
+            chunk = self.cup(self._log_row, 1) + log_line[: self.width]
+            self._log_row += 1
+        input_reset = self.cup(self.height, 1) + b"\x1b[2K[#systems] "
+        return [
+            Write(t, chunk),
+            Write(t + self.clump_gap(), input_reset),
+        ]

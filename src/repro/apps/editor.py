@@ -1,0 +1,118 @@
+"""A modal full-screen editor (the vim/emacs stand-in).
+
+Exercises the behaviours §3.2 calls out: a multi-mode program that
+"sometimes echo[es] conventionally and sometimes [doesn't]" and that puts
+the terminal in raw mode and does its own echoing. Insert-mode typing
+echoes at the cursor; normal-mode navigation moves the cursor with escape
+sequences; mode switches rewrite the status line.
+"""
+
+from __future__ import annotations
+
+from random import Random
+
+from repro.apps.base import HostApp, Write
+
+
+class EditorApp(HostApp):
+    def __init__(self, rng: Random, width: int = 80, height: int = 24) -> None:
+        super().__init__(rng, width, height)
+        self.insert_mode = False
+        self.row = 1  # 1-based cursor within the text area
+        self.col = 1
+        self._text_rows = height - 1  # last row is the status line
+
+    def startup(self) -> list[Write]:
+        paint = bytearray()
+        paint += b"\x1b[?1049h\x1b[2J"  # alt screen, clear
+        for r in range(1, self._text_rows + 1):
+            paint += self.cup(r, 1) + b"~"
+        writes = [Write(2.0, bytes(paint))]
+        writes.append(
+            Write(
+                2.0 + self.clump_gap(),
+                self._status(b'"scratch" [New File]') + self.cup(1, 1),
+            )
+        )
+        self.row = self.col = 1
+        return writes
+
+    def _status(self, text: bytes) -> bytes:
+        pad = text[: self.width].ljust(self.width)
+        return self.cup(self.height, 1) + b"\x1b[7m" + pad + b"\x1b[0m"
+
+    def _restore_cursor(self) -> bytes:
+        return self.cup(self.row, self.col)
+
+    def handle_input(self, data: bytes) -> list[Write]:
+        writes: list[Write] = []
+        t = self.echo_delay()
+        i = 0
+        while i < len(data):
+            byte = data[i]
+            if self.insert_mode:
+                if byte == 0x1B:  # ESC leaves insert mode
+                    self.insert_mode = False
+                    writes.append(
+                        Write(t, self._status(b"") + self._restore_cursor())
+                    )
+                elif byte == 0x0D:
+                    self.row = min(self.row + 1, self._text_rows)
+                    self.col = 1
+                    writes.append(Write(t, b"\r\n"))
+                elif byte in (0x7F, 0x08):
+                    if self.col > 1:
+                        self.col -= 1
+                        writes.append(Write(t, b"\x08 \x08"))
+                elif 0x20 <= byte <= 0x7E:
+                    if self.col < self.width:
+                        self.col += 1
+                        writes.append(Write(t, bytes([byte])))
+                    else:
+                        # wrap: editor redraws the tail of the line
+                        self.row = min(self.row + 1, self._text_rows)
+                        self.col = 2
+                        writes.append(
+                            Write(t, b"\r\n" + bytes([byte]))
+                        )
+            else:
+                writes.extend(self._normal_key(byte, t))
+            t += self.clump_gap()
+            i += 1
+        return writes
+
+    def _normal_key(self, byte: int, t: float) -> list[Write]:
+        ch = chr(byte) if 0x20 <= byte <= 0x7E else ""
+        if ch == "i":
+            self.insert_mode = True
+            return [
+                Write(t, self._status(b"-- INSERT --") + self._restore_cursor())
+            ]
+        if ch in "hjkl" or byte == 0x1B:
+            if ch == "h":
+                self.col = max(1, self.col - 1)
+            elif ch == "l":
+                self.col = min(self.width, self.col + 1)
+            elif ch == "j":
+                self.row = min(self._text_rows, self.row + 1)
+            elif ch == "k":
+                self.row = max(1, self.row - 1)
+            return [Write(t, self._restore_cursor())]
+        if ch == "G":  # jump to bottom
+            self.row = self._text_rows
+            return [Write(t, self._restore_cursor())]
+        if ch == "x":  # delete char under cursor
+            return [Write(t, b"\x1b[P")]
+        if ch == "d":  # (dd half) delete line
+            return [Write(t, b"\x1b[M" + self._restore_cursor())]
+        if ch == ":":  # command line
+            return [Write(t, self.cup(self.height, 1) + b"\x1b[2K:")]
+        if byte == 0x0D:  # finish a :command — repaint status
+            return [
+                Write(t, self._status(b'"scratch" 12 lines written')),
+                Write(t + self.clump_gap(), self._restore_cursor()),
+            ]
+        if 0x20 <= byte <= 0x7E:
+            # e.g. letters typed on the : line
+            return [Write(t, bytes([byte]))]
+        return []

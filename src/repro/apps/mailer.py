@@ -1,0 +1,141 @@
+"""A full-screen mail reader (the alpine/mutt stand-in).
+
+The paper's canonical unpredictable workload: keystrokes like "n" (next
+message) cause large screen updates that no local engine can guess. The
+index screen highlights one row; navigation rewrites two rows; opening a
+message repaints the whole screen in several clumped writes.
+"""
+
+from __future__ import annotations
+
+from random import Random
+
+from repro.apps.base import HostApp, Write
+
+_SENDERS = (
+    "alice@example.com bob@mit.edu carol@csail.mit.edu dave@ietf.org "
+    "eve@usenix.org mallory@example.net"
+).split()
+_SUBJECTS = (
+    "Re: paper draft;Meeting tomorrow;[PATCH] fix roaming;Lunch?;"
+    "Quals reading list;Re: Re: benchmarks;Server maintenance window;"
+    "Travel reimbursement;New dataset available;Re: demo video"
+).split(";")
+
+
+class MailReaderApp(HostApp):
+    def __init__(self, rng: Random, width: int = 80, height: int = 24) -> None:
+        super().__init__(rng, width, height)
+        self.message_count = 30
+        self.selected = 0
+        self.viewing = False
+
+    # ------------------------------------------------------------------
+
+    def _index_line(self, i: int, highlighted: bool) -> bytes:
+        sender = _SENDERS[i % len(_SENDERS)]
+        subject = _SUBJECTS[i % len(_SUBJECTS)]
+        text = f" {i + 1:3d}  {sender:<28s} {subject}"[: self.width]
+        line = text.ljust(self.width).encode("ascii")
+        row = self.cup(i % (self.height - 2) + 2, 1)
+        if highlighted:
+            return row + b"\x1b[7m" + line + b"\x1b[0m"
+        return row + line
+
+    def _paint_index(self) -> list[bytes]:
+        chunks = [b"\x1b[2J" + self.cup(1, 1) + b"\x1b[1m  ALPINE 2.0   MESSAGE INDEX\x1b[0m"]
+        visible = min(self.message_count, self.height - 2)
+        body = bytearray()
+        for i in range(visible):
+            body += self._index_line(i, i == self.selected)
+            if i % 8 == 7:  # real apps flush in chunks
+                chunks.append(bytes(body))
+                body = bytearray()
+        if body:
+            chunks.append(bytes(body))
+        chunks.append(self.cup(self.height, 1) + b"? Help  N NextMsg  P PrevMsg")
+        return chunks
+
+    def startup(self) -> list[Write]:
+        writes = []
+        t = 3.0
+        for chunk in self._paint_index():
+            writes.append(Write(t, chunk))
+            t += self.clump_gap()
+        return writes
+
+    # ------------------------------------------------------------------
+
+    def handle_input(self, data: bytes) -> list[Write]:
+        writes: list[Write] = []
+        t = self.echo_delay()
+        for byte in data:
+            ch = chr(byte) if 0x20 <= byte <= 0x7E else ("\r" if byte == 0x0D else "")
+            if self.viewing:
+                writes.extend(self._viewing_key(ch, t))
+            else:
+                writes.extend(self._index_key(ch, t))
+            t += self.clump_gap()
+        return writes
+
+    def _index_key(self, ch: str, t: float) -> list[Write]:
+        visible = min(self.message_count, self.height - 2)
+        if ch in ("n", "N"):
+            old = self.selected
+            self.selected = (self.selected + 1) % visible
+            return [
+                Write(t, self._index_line(old, False)),
+                Write(t + self.clump_gap(), self._index_line(self.selected, True)),
+            ]
+        if ch in ("p", "P"):
+            old = self.selected
+            self.selected = (self.selected - 1) % visible
+            return [
+                Write(t, self._index_line(old, False)),
+                Write(t + self.clump_gap(), self._index_line(self.selected, True)),
+            ]
+        if ch == "\r":
+            self.viewing = True
+            return self._paint_message(t)
+        return []
+
+    def _viewing_key(self, ch: str, t: float) -> list[Write]:
+        if ch in ("i", "q", "<"):
+            self.viewing = False
+            writes = []
+            for chunk in self._paint_index():
+                writes.append(Write(t, chunk))
+                t += self.clump_gap()
+            return writes
+        if ch == " ":
+            return self._paint_message(t)  # next page
+        return []
+
+    def _paint_message(self, t: float) -> list[Write]:
+        writes = [
+            Write(
+                t,
+                b"\x1b[2J"
+                + self.cup(1, 1)
+                + f"Message {self.selected + 1} of {self.message_count}".encode(),
+            )
+        ]
+        t += self.clump_gap()
+        body = bytearray()
+        for r in range(3, self.height - 1):
+            words = self.rng.randint(4, 10)
+            line = " ".join(
+                self.rng.choice(("the", "and", "network", "terminal", "of",
+                                 "to", "latency", "mosh", "we", "protocol"))
+                for _ in range(words)
+            )
+            body += self.cup(r, 1) + line.encode("ascii")
+            if r % 6 == 5:
+                writes.append(Write(t, bytes(body)))
+                body = bytearray()
+                t += self.clump_gap()
+        if body:
+            writes.append(Write(t, bytes(body)))
+            t += self.clump_gap()
+        writes.append(Write(t, self.cup(self.height, 1) + b"SPACE NextPage  i Index"))
+        return writes

@@ -1,0 +1,108 @@
+"""A system monitor (the top/htop stand-in).
+
+Unlike the other app models, this one produces output *spontaneously*: a
+full-screen status display refreshed on a timer, independent of input.
+It exercises the server-push path — frames flowing with no keystrokes to
+ack — and lets tests confirm that background updates never disturb the
+prediction machinery.
+
+Because its output is time-driven rather than input-driven, it plugs into
+a live session (via :meth:`attach`) rather than the prerecorded-trace
+harness.
+"""
+
+from __future__ import annotations
+
+from random import Random
+
+from repro.apps.base import HostApp, Write
+
+
+class MonitorApp(HostApp):
+    def __init__(self, rng: Random, width: int = 80, height: int = 24) -> None:
+        super().__init__(rng, width, height)
+        self.refresh_ms = 2000.0
+        self._tick = 0
+        self._procs = [
+            ("init", 0.0), ("sshd", 0.1), ("mosh-server", 1.2),
+            ("emacs", 3.4), ("make", 22.0), ("cc1", 41.0), ("python", 8.8),
+        ]
+
+    # ------------------------------------------------------------------
+
+    def _header(self) -> bytes:
+        load = 0.8 + 0.4 * ((self._tick * 7) % 10) / 10.0
+        up_min = self._tick * 2
+        return (
+            self.cup(1, 1)
+            + b"\x1b[2K"
+            + (
+                f"top - up {up_min // 60:02d}:{up_min % 60:02d}, "
+                f"load average: {load:.2f}, {load * 0.9:.2f}, {load * 0.8:.2f}"
+            ).encode()
+        )
+
+    def _process_rows(self) -> bytes:
+        out = bytearray()
+        out += self.cup(3, 1) + b"\x1b[7m" + b"  PID USER     %CPU COMMAND".ljust(
+            self.width
+        ) + b"\x1b[0m"
+        ordered = sorted(
+            self._procs,
+            key=lambda p: -(p[1] + ((hash(p[0]) ^ self._tick) % 7)),
+        )
+        for row, (name, cpu) in enumerate(ordered, start=4):
+            jitter = ((self._tick * 13 + hash(name)) % 50) / 10.0
+            line = f"{1000 + row:5d} user     {cpu + jitter:4.1f} {name}"
+            out += self.cup(row, 1) + b"\x1b[2K" + line.encode()
+        return bytes(out)
+
+    def refresh(self) -> list[Write]:
+        """One screen refresh (call on a timer)."""
+        self._tick += 1
+        return [
+            Write(0.5, self._header()),
+            Write(0.5 + self.clump_gap(), self._process_rows()),
+        ]
+
+    def startup(self) -> list[Write]:
+        paint = b"\x1b[?1049h\x1b[2J"
+        return [Write(1.0, paint)] + self.refresh()
+
+    def handle_input(self, data: bytes) -> list[Write]:
+        writes: list[Write] = []
+        t = self.echo_delay()
+        for byte in data:
+            ch = chr(byte) if 0x20 <= byte <= 0x7E else ""
+            if ch == "q":
+                writes.append(Write(t, b"\x1b[?1049l\x1b[2J" + self.cup(1, 1)))
+            elif ch in ("k", "r", "h"):  # interactive prompts at the top
+                writes.append(
+                    Write(t, self.cup(2, 1) + b"\x1b[2K" + b"PID to signal: ")
+                )
+            # every other key: top ignores it (no response at all)
+            t += self.clump_gap()
+        return writes
+
+    # ------------------------------------------------------------------
+
+    def attach(self, session) -> None:
+        """Drive a live :class:`~repro.session.InProcessSession` server."""
+
+        def write_all(writes: list[Write]) -> None:
+            for write in writes:
+                session.loop.schedule(
+                    write.delay_ms,
+                    lambda d=write.data: session.server.host_write(d),
+                )
+
+        def on_input(data: bytes) -> None:
+            write_all(self.handle_input(data))
+
+        def tick() -> None:
+            write_all(self.refresh())
+            session.loop.schedule(self.refresh_ms, tick)
+
+        session.server.on_input = on_input
+        write_all(self.startup())
+        session.loop.schedule(self.refresh_ms, tick)

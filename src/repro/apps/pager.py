@@ -1,0 +1,76 @@
+"""A pager (the less/more and links stand-in).
+
+Space repaints a full page; j/ENTER scrolls one line; q exits. Scrolling
+uses the index/delete-line idiom so the replayed byte stream matches what
+real pagers emit.
+"""
+
+from __future__ import annotations
+
+from random import Random
+
+from repro.apps.base import HostApp, Write
+
+_FILLER = (
+    "Lorem ipsum dolor sit amet consectetur adipiscing elit sed do "
+    "eiusmod tempor incididunt ut labore et dolore magna aliqua"
+).split()
+
+
+class PagerApp(HostApp):
+    def __init__(self, rng: Random, width: int = 80, height: int = 24) -> None:
+        super().__init__(rng, width, height)
+        self.line_no = 0
+
+    def _line_bytes(self) -> bytes:
+        self.line_no += 1
+        words = self.rng.sample(_FILLER, k=self.rng.randint(4, 9))
+        text = f"{self.line_no:5d}  " + " ".join(words)
+        return text[: self.width].encode("ascii")
+
+    def _page(self, t: float) -> list[Write]:
+        writes = [Write(t, b"\x1b[2J" + self.cup(1, 1))]
+        t += self.clump_gap()
+        body = bytearray()
+        for r in range(1, self.height):
+            body += self.cup(r, 1) + self._line_bytes()
+            if r % 7 == 6:
+                writes.append(Write(t, bytes(body)))
+                body = bytearray()
+                t += self.clump_gap()
+        if body:
+            writes.append(Write(t, bytes(body)))
+            t += self.clump_gap()
+        writes.append(Write(t, self.cup(self.height, 1) + b"\x1b[7m--More--\x1b[0m"))
+        return writes
+
+    def startup(self) -> list[Write]:
+        return self._page(3.0)
+
+    def handle_input(self, data: bytes) -> list[Write]:
+        writes: list[Write] = []
+        t = self.echo_delay()
+        for byte in data:
+            ch = chr(byte) if 0x20 <= byte <= 0x7E else ("\r" if byte == 0x0D else "")
+            if ch == " ":
+                writes.extend(self._page(t))
+            elif ch in ("j",) or ch == "\r":
+                # scroll one line: clear status, scroll, new line, status
+                chunk = (
+                    self.cup(self.height, 1)
+                    + b"\x1b[2K"
+                    + b"\x1b[S"
+                    + self.cup(self.height - 1, 1)
+                    + self._line_bytes()
+                )
+                writes.append(Write(t, chunk))
+                writes.append(
+                    Write(
+                        t + self.clump_gap(),
+                        self.cup(self.height, 1) + b"\x1b[7m--More--\x1b[0m",
+                    )
+                )
+            elif ch == "q":
+                writes.append(Write(t, b"\x1b[2J" + self.cup(1, 1) + b"$ "))
+            t += self.clump_gap()
+        return writes

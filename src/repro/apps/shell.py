@@ -1,0 +1,82 @@
+"""A line-editing shell (the bash/zsh stand-in).
+
+Echoes printable keystrokes at the cursor, handles backspace with the
+classic ``\\b \\b`` sequence, and on ENTER emits a multi-write command
+response followed by a fresh prompt. Command output lengths follow a
+heavy-ish tail (most commands short, occasional long listing), like real
+shell sessions.
+"""
+
+from __future__ import annotations
+
+from random import Random
+
+from repro.apps.base import HostApp, Write
+
+_WORDS = (
+    "src tests docs build dist include lib bin share man README.md "
+    "Makefile setup.py main.c util.h parser.y driver.cc notes.txt data.csv"
+).split()
+
+
+class ShellApp(HostApp):
+    def __init__(self, rng: Random, width: int = 80, height: int = 24) -> None:
+        super().__init__(rng, width, height)
+        self.prompt = b"user@remote:~$ "
+        self._line = bytearray()
+
+    def startup(self) -> list[Write]:
+        banner = (
+            b"Linux remote 3.2.0 #1 SMP x86_64\r\n"
+            b"Last login: from 18.26.4.9\r\n"
+        )
+        return [
+            Write(1.0, banner),
+            Write(1.0 + self.clump_gap(), self.prompt),
+        ]
+
+    def handle_input(self, data: bytes) -> list[Write]:
+        writes: list[Write] = []
+        t = self.echo_delay()
+        for byte in data:
+            if byte in (0x7F, 0x08):
+                if self._line:
+                    self._line.pop()
+                    writes.append(Write(t, b"\x08 \x08"))
+            elif byte == 0x0D:
+                writes.extend(self._run_command(t))
+                self._line.clear()
+            elif byte == 0x03:  # Ctrl-C
+                writes.append(Write(t, b"^C\r\n" + self.prompt))
+                self._line.clear()
+            elif 0x20 <= byte <= 0x7E:
+                self._line.append(byte)
+                writes.append(Write(t, bytes([byte])))
+            t += self.clump_gap()
+        return writes
+
+    def _run_command(self, start: float) -> list[Write]:
+        writes = [Write(start, b"\r\n")]
+        t = start + self.clump_gap()
+        command = bytes(self._line).strip()
+        if command:
+            for chunk in self._command_output():
+                writes.append(Write(t, chunk))
+                t += self.clump_gap()
+        writes.append(Write(t, self.prompt))
+        return writes
+
+    def _command_output(self) -> list[bytes]:
+        """A few lines of output, written in clumps like a real program."""
+        roll = self.rng.random()
+        if roll < 0.35:
+            return []  # cd, export, true — silent commands
+        if roll < 0.85:
+            lines = self.rng.randint(1, 6)
+        else:
+            lines = self.rng.randint(8, 30)  # the occasional big listing
+        chunks: list[bytes] = []
+        for _ in range(lines):
+            words = self.rng.sample(_WORDS, k=self.rng.randint(2, 6))
+            chunks.append(("  ".join(words) + "\r\n").encode("ascii"))
+        return chunks

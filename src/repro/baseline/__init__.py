@@ -1,0 +1,5 @@
+"""Baselines the paper compares against (SSH over TCP)."""
+
+from repro.baseline.ssh import SshSession
+
+__all__ = ["SshSession"]

@@ -1,0 +1,97 @@
+"""The SSH baseline: a character-at-a-time remote shell over TCP.
+
+"SSH operates strictly in character-at-a-time mode, with all echoes and
+line editing performed by the remote host" (§1), and it "securely conveys
+an octet-stream over the network and then hands it off to a separate
+client-side terminal emulator". This model reproduces exactly that
+structure over :mod:`repro.simnet.tcp`:
+
+* every keystroke becomes TCP payload immediately (Nagle off, as OpenSSH
+  sets TCP_NODELAY for interactive sessions);
+* the server writes application output into the same TCP stream;
+* the client feeds received bytes to a local terminal emulator; latency is
+  measured by watching that emulator's framebuffer change.
+
+SSH's per-packet framing overhead is folded into the TCP model's 40-byte
+header constant; it only matters for serialization delay on rate-limited
+links and is negligible against the effects under study (RTT, queueing,
+and loss-induced backoff).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.simnet.eventloop import EventLoop
+from repro.simnet.host import SimNetwork
+from repro.simnet.link import LinkConfig
+from repro.simnet.tcp import TcpConfig, TcpEndpoint, tcp_pair
+from repro.terminal.emulator import Emulator
+
+
+class SshSession:
+    """Client terminal + server app over a TCP byte stream."""
+
+    def __init__(
+        self,
+        uplink: LinkConfig,
+        downlink: LinkConfig,
+        width: int = 80,
+        height: int = 24,
+        seed: int = 0,
+        tcp_config: TcpConfig | None = None,
+        network: SimNetwork | None = None,
+    ) -> None:
+        if network is None:
+            self.loop = EventLoop()
+            self.network = SimNetwork(self.loop, uplink, downlink, seed=seed)
+        else:
+            self.loop = network.loop
+            self.network = network
+        self.tcp_client, self.tcp_server = tcp_pair(
+            self.loop,
+            self.network.uplink,
+            self.network.downlink,
+            tcp_config,
+            names=("ssh-client", "ssh-server"),
+        )
+        self.emulator = Emulator(width, height)
+        #: Application hook: receives raw user bytes at the server.
+        self.on_input: Callable[[bytes], None] | None = None
+        #: Display-change hook for the latency harness.
+        self.on_display_change: Callable[[float], None] | None = None
+        self.tcp_client.on_data = self._client_receives
+        self.tcp_server.on_data = self._server_receives
+
+    # ------------------------------------------------------------------
+
+    def type_bytes(self, data: bytes) -> list[bool]:
+        """Send keystrokes; SSH never displays anything locally, so the
+        per-byte instant flags are always False."""
+        self.tcp_client.send(data)
+        return [False] * len(data)
+
+    def host_write(self, data: bytes) -> None:
+        """The server-side application wrote to the pty."""
+        self.tcp_server.send(data)
+
+    # ------------------------------------------------------------------
+
+    def _server_receives(self, data: bytes) -> None:
+        if self.on_input is not None:
+            self.on_input(data)
+
+    def _client_receives(self, data: bytes) -> None:
+        before_rows = [row.gen for row in self.emulator.fb.rows]
+        before_cursor = (self.emulator.fb.cursor_row, self.emulator.fb.cursor_col)
+        self.emulator.write(data)
+        after_rows = [row.gen for row in self.emulator.fb.rows]
+        after_cursor = (self.emulator.fb.cursor_row, self.emulator.fb.cursor_col)
+        if before_rows != after_rows or before_cursor != after_cursor:
+            if self.on_display_change is not None:
+                self.on_display_change(self.loop.now())
+
+    # ------------------------------------------------------------------
+
+    def run_for(self, duration_ms: float) -> None:
+        self.loop.run_for(duration_ms)

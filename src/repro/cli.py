@@ -1,0 +1,175 @@
+"""Command-line entry points.
+
+* ``repro-mosh-server [-- command ...]`` — start the unprivileged server,
+  print ``MOSH CONNECT <port> <key>``, serve until the shell exits.
+* ``repro-mosh-client <host> <port> <key>`` — connect interactively.
+* ``repro-mosh-demo`` — run a self-contained server+client pair on
+  localhost, type a command, show the synchronized screen, and exit.
+  Useful as a smoke test of the real-UDP/pty path.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import shutil
+import sys
+import time
+
+
+def server_main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-mosh-server", description="SSP terminal server"
+    )
+    parser.add_argument("--port", type=int, default=None, help="UDP port")
+    parser.add_argument("--bind", default="0.0.0.0", help="bind address")
+    parser.add_argument("--width", type=int, default=80)
+    parser.add_argument("--height", type=int, default=24)
+    parser.add_argument(
+        "command", nargs="*", help="command to run (default: $SHELL)"
+    )
+    args = parser.parse_args(argv)
+
+    from repro.app.server import ServerApp
+
+    app = ServerApp(
+        argv=args.command or None,
+        bind_host=args.bind,
+        port=args.port,
+        width=args.width,
+        height=args.height,
+    )
+    print(app.connect_line(), flush=True)
+    app.run()
+    return 0
+
+
+def client_main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-mosh-client", description="SSP terminal client"
+    )
+    parser.add_argument("host")
+    parser.add_argument("port", type=int)
+    parser.add_argument("key", help="22-character base64 session key")
+    parser.add_argument(
+        "--predict",
+        choices=["adaptive", "always", "never", "experimental"],
+        default="adaptive",
+    )
+    args = parser.parse_args(argv)
+
+    from repro.app.client import ClientApp
+    from repro.crypto.keys import Base64Key
+    from repro.prediction.engine import DisplayPreference
+
+    size = shutil.get_terminal_size((80, 24))
+    app = ClientApp(
+        args.host,
+        args.port,
+        Base64Key.from_printable(args.key),
+        width=size.columns,
+        height=size.lines,
+        preference=DisplayPreference(args.predict),
+    )
+    app.send_resize(size.columns, size.lines)
+    app.run()
+    return 0
+
+
+def mosh_main(argv: list[str] | None = None) -> int:
+    """The `mosh` wrapper: bootstrap over SSH, then connect over UDP."""
+    parser = argparse.ArgumentParser(
+        prog="repro-mosh",
+        description="log in via SSH, start the server, connect over SSP/UDP",
+    )
+    parser.add_argument("host", help="remote host (passed to ssh)")
+    parser.add_argument(
+        "--server", default="repro-mosh-server", help="remote server command"
+    )
+    parser.add_argument(
+        "--ssh", default="ssh", help="login command (default: ssh)"
+    )
+    parser.add_argument(
+        "--predict",
+        choices=["adaptive", "always", "never", "experimental"],
+        default="adaptive",
+    )
+    args = parser.parse_args(argv)
+
+    from repro.app.bootstrap import bootstrap
+    from repro.app.client import ClientApp
+    from repro.prediction.engine import DisplayPreference
+
+    size = shutil.get_terminal_size((80, 24))
+    result = bootstrap(
+        args.host,
+        login_command=args.ssh.split() + [args.host],
+        server_command=f"{args.server} --width {size.columns} --height {size.lines}",
+    )
+    app = ClientApp(
+        result.host,
+        result.port,
+        result.key,
+        width=size.columns,
+        height=size.lines,
+        preference=DisplayPreference(args.predict),
+    )
+    app.send_resize(size.columns, size.lines)
+    app.run()
+    return 0
+
+
+def demo_main(argv: list[str] | None = None) -> int:
+    """Localhost smoke test: server + headless client, one command."""
+    parser = argparse.ArgumentParser(prog="repro-mosh-demo")
+    parser.add_argument(
+        "--command", default="echo hello from $0", help="line to type"
+    )
+    parser.add_argument("--seconds", type=float, default=3.0)
+    args = parser.parse_args(argv)
+
+    import threading
+
+    from repro.app.client import ClientApp
+    from repro.app.server import ServerApp
+
+    server = ServerApp(argv=["/bin/sh"], bind_host="127.0.0.1", width=80, height=24)
+    print(server.connect_line())
+    thread = threading.Thread(
+        target=server.run, kwargs={"idle_exit_ms": 30_000}, daemon=True
+    )
+    thread.start()
+
+    # Headless client: pipe for stdin, buffer for the painted frames.
+    read_fd, write_fd = os.pipe()
+    import io
+
+    sink = io.BytesIO()
+    client = ClientApp(
+        "127.0.0.1",
+        server.connection.port,
+        server.key,
+        stdin_fd=read_fd,
+        stdout=sink,
+    )
+    deadline = time.monotonic() + args.seconds
+    typed = False
+    while time.monotonic() < deadline:
+        client.step(timeout_ms=20.0)
+        if not typed and client.transport.remote_state_num > 0:
+            os.write(write_fd, (args.command + "\n").encode())
+            typed = True
+    client.step(timeout_ms=50.0)
+    screen = client.transport.remote_state.fb.screen_text()
+    print("--- final client screen ---")
+    print("\n".join(line.rstrip() for line in screen.splitlines() if line.strip()))
+    client.close()
+    server.running = False
+    server.shutdown()
+    os.close(write_fd)
+    os.close(read_fd)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(server_main())

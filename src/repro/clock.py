@@ -1,0 +1,59 @@
+"""Time sources.
+
+Everything in this library that needs "now" takes it either as an explicit
+millisecond timestamp argument or from a :class:`Clock`. This makes the
+entire protocol stack runnable against a simulated clock, which is how the
+paper's experiments are reproduced deterministically.
+
+All times are float milliseconds, matching Mosh's internal convention.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Protocol
+
+
+class Clock(Protocol):
+    """Anything with a ``now()`` returning milliseconds."""
+
+    def now(self) -> float:
+        """Return the current time in milliseconds."""
+        ...  # pragma: no cover - protocol stub
+
+
+class RealClock:
+    """Wall-clock time from the OS monotonic clock, in milliseconds."""
+
+    def now(self) -> float:
+        return time.monotonic() * 1000.0
+
+
+class SimulatedClock:
+    """A manually-advanced clock for deterministic tests and simulations.
+
+    The simulator event loop owns one of these and advances it as events
+    fire; protocol components simply read it.
+    """
+
+    def __init__(self, start_ms: float = 0.0) -> None:
+        self._now = float(start_ms)
+
+    def now(self) -> float:
+        return self._now
+
+    def advance(self, delta_ms: float) -> float:
+        """Move time forward by ``delta_ms`` (must be non-negative)."""
+        if delta_ms < 0:
+            raise ValueError(f"cannot move time backwards by {delta_ms} ms")
+        self._now += delta_ms
+        return self._now
+
+    def advance_to(self, when_ms: float) -> float:
+        """Move time forward to an absolute timestamp (monotonically)."""
+        if when_ms < self._now:
+            raise ValueError(
+                f"cannot move time backwards: now={self._now} target={when_ms}"
+            )
+        self._now = when_ms
+        return self._now

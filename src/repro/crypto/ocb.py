@@ -1,0 +1,174 @@
+"""OCB authenticated encryption (RFC 7253) over AES-128.
+
+The paper bases SSP's security on "AES-128 in the Offset Codebook (OCB)
+mode, which provides confidentiality and authenticity with a single secret
+key" (§2.2). This module implements the OCB3 variant standardized in RFC
+7253 with a 128-bit tag, validated against the RFC's published test vectors
+in the test suite.
+
+Blocks are manipulated as 128-bit Python integers, which keeps the
+pure-Python hot path to a few arithmetic operations per block.
+"""
+
+from __future__ import annotations
+
+import hmac
+
+from repro.crypto.aes import AES128, BLOCK_SIZE
+from repro.errors import AuthenticationError, CryptoError
+
+TAG_LEN = 16
+
+_MASK128 = (1 << 128) - 1
+
+
+def _double(value: int) -> int:
+    """Multiplication by x in GF(2^128) (the "doubling" operation)."""
+    value <<= 1
+    if value >> 128:
+        value = (value & _MASK128) ^ 0x87
+    return value
+
+
+def _ntz(i: int) -> int:
+    """Number of trailing zero bits of a positive integer."""
+    return (i & -i).bit_length() - 1
+
+
+class OCBCipher:
+    """AES-128-OCB with a 128-bit tag.
+
+    Nonces must be 1..15 bytes and must never repeat under the same key;
+    SSP guarantees that by deriving them from monotonic sequence numbers.
+    """
+
+    def __init__(self, key: bytes) -> None:
+        self._aes = AES128(key)
+        l_star = int.from_bytes(self._aes.encrypt_block(bytes(BLOCK_SIZE)), "big")
+        self._l_star = l_star
+        self._l_dollar = _double(l_star)
+        # Precompute L[0..63]; ntz(i) for any realistic message length fits.
+        table = [_double(self._l_dollar)]
+        for _ in range(63):
+            table.append(_double(table[-1]))
+        self._l_table = table
+        self._ktop_cache: tuple[bytes, int] | None = None
+
+    def _enc(self, block_int: int) -> int:
+        return int.from_bytes(
+            self._aes.encrypt_block(block_int.to_bytes(16, "big")), "big"
+        )
+
+    def _dec(self, block_int: int) -> int:
+        return int.from_bytes(
+            self._aes.decrypt_block(block_int.to_bytes(16, "big")), "big"
+        )
+
+    def _initial_offset(self, nonce: bytes) -> int:
+        """RFC 7253 §4.2 nonce-dependent initial offset."""
+        if not 1 <= len(nonce) <= 15:
+            raise CryptoError(f"nonce must be 1..15 bytes, got {len(nonce)}")
+        # TAGLEN mod 128 == 0 for a full 128-bit tag.
+        full = bytearray(16)
+        full[16 - len(nonce) - 1] = 0x01
+        full[16 - len(nonce) :] = nonce
+        bottom = full[15] & 0x3F
+        full[15] &= 0xC0
+        key = bytes(full)
+        cached = self._ktop_cache
+        if cached is not None and cached[0] == key:
+            stretch = cached[1]
+        else:
+            ktop = self._aes.encrypt_block(key)
+            ktop_int = int.from_bytes(ktop, "big")
+            shifted = int.from_bytes(ktop[1:9], "big") ^ int.from_bytes(
+                ktop[0:8], "big"
+            )
+            stretch = (ktop_int << 64) | shifted  # 192 bits
+            self._ktop_cache = (key, stretch)
+        return (stretch >> (64 - bottom)) & _MASK128
+
+    def _hash_ad(self, associated_data: bytes) -> int:
+        """HASH(K, A) from RFC 7253 §4.1."""
+        if not associated_data:
+            return 0
+        offset = 0
+        total = 0
+        full_blocks = len(associated_data) // BLOCK_SIZE
+        for i in range(1, full_blocks + 1):
+            offset ^= self._l_table[_ntz(i)]
+            block = int.from_bytes(
+                associated_data[(i - 1) * BLOCK_SIZE : i * BLOCK_SIZE], "big"
+            )
+            total ^= self._enc(block ^ offset)
+        tail = associated_data[full_blocks * BLOCK_SIZE :]
+        if tail:
+            offset ^= self._l_star
+            padded = tail + b"\x80" + bytes(BLOCK_SIZE - len(tail) - 1)
+            total ^= self._enc(int.from_bytes(padded, "big") ^ offset)
+        return total
+
+    def encrypt(
+        self, nonce: bytes, plaintext: bytes, associated_data: bytes = b""
+    ) -> bytes:
+        """Return ciphertext || 16-byte tag."""
+        offset = self._initial_offset(nonce)
+        checksum = 0
+        out = bytearray()
+        full_blocks = len(plaintext) // BLOCK_SIZE
+        for i in range(1, full_blocks + 1):
+            offset ^= self._l_table[_ntz(i)]
+            block = int.from_bytes(
+                plaintext[(i - 1) * BLOCK_SIZE : i * BLOCK_SIZE], "big"
+            )
+            checksum ^= block
+            out += (self._enc(block ^ offset) ^ offset).to_bytes(16, "big")
+        tail = plaintext[full_blocks * BLOCK_SIZE :]
+        if tail:
+            offset ^= self._l_star
+            pad = self._enc(offset)
+            pad_bytes = pad.to_bytes(16, "big")
+            out += bytes(p ^ k for p, k in zip(tail, pad_bytes))
+            padded = tail + b"\x80" + bytes(BLOCK_SIZE - len(tail) - 1)
+            checksum ^= int.from_bytes(padded, "big")
+        tag = self._enc(checksum ^ offset ^ self._l_dollar) ^ self._hash_ad(
+            associated_data
+        )
+        out += tag.to_bytes(16, "big")
+        return bytes(out)
+
+    def decrypt(
+        self, nonce: bytes, ciphertext: bytes, associated_data: bytes = b""
+    ) -> bytes:
+        """Verify the tag and return the plaintext.
+
+        Raises :class:`AuthenticationError` if the tag does not verify;
+        no plaintext is released in that case.
+        """
+        if len(ciphertext) < TAG_LEN:
+            raise AuthenticationError("ciphertext shorter than the tag")
+        body, received_tag = ciphertext[:-TAG_LEN], ciphertext[-TAG_LEN:]
+        offset = self._initial_offset(nonce)
+        checksum = 0
+        out = bytearray()
+        full_blocks = len(body) // BLOCK_SIZE
+        for i in range(1, full_blocks + 1):
+            offset ^= self._l_table[_ntz(i)]
+            block = int.from_bytes(body[(i - 1) * BLOCK_SIZE : i * BLOCK_SIZE], "big")
+            plain = self._dec(block ^ offset) ^ offset
+            checksum ^= plain
+            out += plain.to_bytes(16, "big")
+        tail = body[full_blocks * BLOCK_SIZE :]
+        if tail:
+            offset ^= self._l_star
+            pad = self._enc(offset).to_bytes(16, "big")
+            plain_tail = bytes(c ^ k for c, k in zip(tail, pad))
+            out += plain_tail
+            padded = plain_tail + b"\x80" + bytes(BLOCK_SIZE - len(plain_tail) - 1)
+            checksum ^= int.from_bytes(padded, "big")
+        expected = self._enc(checksum ^ offset ^ self._l_dollar) ^ self._hash_ad(
+            associated_data
+        )
+        if not hmac.compare_digest(expected.to_bytes(16, "big"), received_tag):
+            raise AuthenticationError("OCB tag verification failed")
+        return bytes(out)

@@ -1,0 +1,99 @@
+"""Per-connection encryption sessions.
+
+A :class:`Session` turns (nonce, payload) messages into sealed datagrams and
+back. The wire layout of a sealed datagram is::
+
+    8 bytes   nonce (direction bit | 63-bit sequence number), cleartext
+    N+16      OCB ciphertext of the payload, including the 16-byte tag
+
+Because every datagram is an idempotent state diff, SSP needs no replay
+cache (§2.2): replayed packets re-apply a diff the receiver has already
+applied, which is a no-op, and the transport layer ignores stale sequence
+numbers for roaming purposes.
+
+:class:`NullSession` implements the same interface with no cryptography; it
+exists so the large-scale trace-replay experiments (tens of thousands of
+datagrams) can run quickly inside the deterministic network simulator.
+Real-UDP sessions always encrypt.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crypto.keys import Base64Key, Nonce
+from repro.crypto.ocb import TAG_LEN, OCBCipher
+from repro.errors import CryptoError
+
+_NONCE_WIRE_LEN = 8
+
+#: Largest payload a session will seal; mirrors Mosh's receive buffer bound.
+MAX_PAYLOAD_LEN = 64 * 1024
+
+
+@dataclass(frozen=True)
+class Message:
+    """A (nonce, payload) pair, the unit the datagram layer encrypts."""
+
+    nonce: Nonce
+    text: bytes
+
+
+class Session:
+    """Seals and unseals datagrams with AES-128-OCB under one shared key."""
+
+    def __init__(self, key: Base64Key) -> None:
+        self._key = key
+        self._cipher = OCBCipher(key.key)
+
+    @property
+    def key(self) -> Base64Key:
+        return self._key
+
+    def encrypt(self, message: Message) -> bytes:
+        """Seal a message into wire bytes."""
+        if len(message.text) > MAX_PAYLOAD_LEN:
+            raise CryptoError(
+                f"payload of {len(message.text)} bytes exceeds "
+                f"{MAX_PAYLOAD_LEN}-byte bound"
+            )
+        sealed = self._cipher.encrypt(message.nonce.ocb(), message.text)
+        return message.nonce.wire() + sealed
+
+    def decrypt(self, data: bytes) -> Message:
+        """Unseal wire bytes; raises AuthenticationError on tampering."""
+        if len(data) < _NONCE_WIRE_LEN + TAG_LEN:
+            raise CryptoError(f"datagram too short to unseal: {len(data)} bytes")
+        nonce = Nonce.from_wire(data[:_NONCE_WIRE_LEN])
+        text = self._cipher.decrypt(nonce.ocb(), data[_NONCE_WIRE_LEN:])
+        return Message(nonce=nonce, text=text)
+
+
+class NullSession:
+    """Plaintext stand-in for :class:`Session` (simulation only).
+
+    Keeps the exact wire framing (8-byte nonce header) but stores the
+    payload unencrypted with a 16-byte zero "tag" so datagram sizes match
+    the encrypted case, preserving bandwidth behaviour in simulations.
+    """
+
+    def __init__(self, key: Base64Key | None = None) -> None:
+        self._key = key or Base64Key(bytes(16))
+
+    @property
+    def key(self) -> Base64Key:
+        return self._key
+
+    def encrypt(self, message: Message) -> bytes:
+        if len(message.text) > MAX_PAYLOAD_LEN:
+            raise CryptoError(
+                f"payload of {len(message.text)} bytes exceeds "
+                f"{MAX_PAYLOAD_LEN}-byte bound"
+            )
+        return message.nonce.wire() + message.text + bytes(TAG_LEN)
+
+    def decrypt(self, data: bytes) -> Message:
+        if len(data) < _NONCE_WIRE_LEN + TAG_LEN:
+            raise CryptoError(f"datagram too short to unseal: {len(data)} bytes")
+        nonce = Nonce.from_wire(data[:_NONCE_WIRE_LEN])
+        return Message(nonce=nonce, text=data[_NONCE_WIRE_LEN:-TAG_LEN])

@@ -1,0 +1,51 @@
+"""Exception hierarchy for the repro (Mosh reproduction) library.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything from this package with a single except clause.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class CryptoError(ReproError):
+    """Encryption or decryption failed (bad key, bad nonce, corrupt data)."""
+
+
+class AuthenticationError(CryptoError):
+    """A ciphertext failed OCB authentication and was rejected."""
+
+
+class NetworkError(ReproError):
+    """A datagram-layer failure (socket errors, malformed packets)."""
+
+
+class PacketError(NetworkError):
+    """A received packet could not be parsed."""
+
+
+class TransportError(ReproError):
+    """A transport-layer protocol violation."""
+
+
+class FragmentError(TransportError):
+    """Fragmented instruction reassembly failed."""
+
+
+class StateError(TransportError):
+    """A state diff could not be applied to the local object."""
+
+
+class TerminalError(ReproError):
+    """The terminal emulator was driven with invalid parameters."""
+
+
+class SimulationError(ReproError):
+    """The network simulator was configured or driven incorrectly."""
+
+
+class TraceError(ReproError):
+    """A keystroke trace is malformed or cannot be replayed."""

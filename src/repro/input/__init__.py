@@ -1,0 +1,11 @@
+"""User-input state objects (the client→server SSP direction).
+
+"From client to server, the objects represent the history of the user's
+input" (§2) — the diff between two input states contains every intervening
+keystroke, because unlike screen frames, keystrokes can never be skipped.
+"""
+
+from repro.input.events import Resize, UserBytes, UserEvent
+from repro.input.userstream import UserStream
+
+__all__ = ["Resize", "UserBytes", "UserEvent", "UserStream"]

@@ -1,0 +1,75 @@
+"""Input events carried by the user stream."""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from repro.errors import StateError
+
+_TYPE_BYTES = 1
+_TYPE_RESIZE = 2
+
+_BYTES_HEADER = struct.Struct("!BH")
+_RESIZE_HEADER = struct.Struct("!BHH")
+
+
+@dataclass(frozen=True)
+class UserBytes:
+    """Raw keyboard bytes destined for the host pty."""
+
+    data: bytes
+
+    def __post_init__(self) -> None:
+        if not self.data:
+            raise StateError("UserBytes must carry at least one byte")
+        if len(self.data) > 0xFFFF:
+            raise StateError(f"UserBytes too large: {len(self.data)}")
+
+    def encode(self) -> bytes:
+        return _BYTES_HEADER.pack(_TYPE_BYTES, len(self.data)) + self.data
+
+
+@dataclass(frozen=True)
+class Resize:
+    """The client terminal changed size."""
+
+    cols: int
+    rows: int
+
+    def __post_init__(self) -> None:
+        if not (0 < self.cols <= 0xFFFF and 0 < self.rows <= 0xFFFF):
+            raise StateError(f"bad resize {self.cols}x{self.rows}")
+
+    def encode(self) -> bytes:
+        return _RESIZE_HEADER.pack(_TYPE_RESIZE, self.cols, self.rows)
+
+
+UserEvent = UserBytes | Resize
+
+
+def decode_events(data: bytes) -> list[UserEvent]:
+    """Decode a concatenation of encoded events."""
+    events: list[UserEvent] = []
+    offset = 0
+    n = len(data)
+    while offset < n:
+        kind = data[offset]
+        if kind == _TYPE_BYTES:
+            if offset + _BYTES_HEADER.size > n:
+                raise StateError("truncated UserBytes header")
+            _, length = _BYTES_HEADER.unpack_from(data, offset)
+            offset += _BYTES_HEADER.size
+            if offset + length > n:
+                raise StateError("truncated UserBytes payload")
+            events.append(UserBytes(data[offset : offset + length]))
+            offset += length
+        elif kind == _TYPE_RESIZE:
+            if offset + _RESIZE_HEADER.size > n:
+                raise StateError("truncated Resize")
+            _, cols, rows = _RESIZE_HEADER.unpack_from(data, offset)
+            offset += _RESIZE_HEADER.size
+            events.append(Resize(cols=cols, rows=rows))
+        else:
+            raise StateError(f"unknown event type {kind}")
+    return events

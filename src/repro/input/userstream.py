@@ -1,0 +1,101 @@
+"""UserStream: the history of user input as an SSP state object.
+
+A state is the sequence of all events the user has generated. Events are
+numbered from the beginning of the session; ``subtract`` prunes the prefix
+the receiver is known to hold so memory stays bounded, while the absolute
+count keeps diffs well-defined after pruning.
+"""
+
+from __future__ import annotations
+
+from repro.errors import StateError
+from repro.input.events import UserEvent, decode_events
+from repro.transport.state import StateObject
+
+
+class UserStream(StateObject):
+    """An append-only event log with prefix pruning."""
+
+    def __init__(self) -> None:
+        self._events: list[UserEvent] = []
+        self._base = 0  # number of pruned events preceding _events[0]
+
+    # ------------------------------------------------------------------
+    # Client-side mutation
+    # ------------------------------------------------------------------
+
+    def push_event(self, event: UserEvent) -> None:
+        self._events.append(event)
+
+    @property
+    def total_count(self) -> int:
+        """Events ever appended (including pruned ones)."""
+        return self._base + len(self._events)
+
+    def events_since(self, index: int) -> list[UserEvent]:
+        """Events with absolute index >= ``index`` (server-side consumer)."""
+        if index < self._base:
+            raise StateError(
+                f"events before {self._base} were pruned (asked for {index})"
+            )
+        return self._events[index - self._base :]
+
+    # ------------------------------------------------------------------
+    # StateObject interface
+    # ------------------------------------------------------------------
+
+    def copy(self) -> "UserStream":
+        dup = UserStream()
+        dup._events = list(self._events)
+        dup._base = self._base
+        return dup
+
+    def diff_from(self, source: "UserStream") -> bytes:
+        if source.total_count > self.total_count:
+            raise StateError(
+                "diff_from a newer state: "
+                f"{source.total_count} > {self.total_count}"
+            )
+        start = source.total_count
+        if start < self._base:
+            raise StateError(
+                f"diff base {start} already pruned (base {self._base})"
+            )
+        return b"".join(
+            event.encode() for event in self._events[start - self._base :]
+        )
+
+    def apply_diff(self, diff: bytes) -> None:
+        for event in decode_events(diff):
+            self._events.append(event)
+
+    def subtract(self, prefix: "UserStream") -> None:
+        if prefix.total_count <= self._base:
+            return
+        drop = min(prefix.total_count, self.total_count) - self._base
+        del self._events[:drop]
+        self._base += drop
+
+    def fingerprint(self) -> int:
+        """Event count (within one lineage, equal counts ⇒ equal states)."""
+        # Within one lineage, equal counts imply equal histories.
+        return self.total_count
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, UserStream):
+            return NotImplemented
+        if self.total_count != other.total_count:
+            return False
+        start = max(self._base, other._base)
+        return (
+            self._events[start - self._base :]
+            == other._events[start - other._base :]
+        )
+
+    def __hash__(self) -> int:
+        return id(self)
+
+    def __repr__(self) -> str:
+        return (
+            f"UserStream(base={self._base}, pending={len(self._events)})"
+        )

@@ -1,0 +1,101 @@
+"""The real-UDP datagram endpoint.
+
+This is the datagram layer §2.2 describes, over actual sockets: the server
+"listens on a high UDP port"; the client sends to it from whatever source
+address the network gives it, and may roam at any time — the server
+re-targets to the source of the newest authentic datagram.
+
+No privileged code is required (design goal 2): the server binds an
+unprivileged port and the shared key is exchanged out-of-band (in real
+Mosh, over SSH; in :mod:`repro.cli`, printed on stdout).
+"""
+
+from __future__ import annotations
+
+import errno
+import socket
+
+from repro.clock import Clock, RealClock
+from repro.crypto.session import NullSession, Session
+from repro.errors import NetworkError
+from repro.network.interface import DatagramEndpoint
+
+PORT_RANGE = (60001, 60999)
+
+
+class UdpConnection(DatagramEndpoint):
+    """A datagram endpoint bound to a real UDP socket."""
+
+    def __init__(
+        self,
+        session: Session | NullSession,
+        is_server: bool,
+        bind_host: str = "0.0.0.0",
+        port: int | None = None,
+        clock: Clock | None = None,
+        mtu: int = 500,
+    ) -> None:
+        super().__init__(session=session, is_server=is_server, mtu=mtu)
+        self._clock = clock or RealClock()
+        self._sock = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+        self._sock.setblocking(False)
+        if is_server:
+            self._bind(bind_host, port)
+        else:
+            self._sock.bind((bind_host, 0))
+
+    def _bind(self, host: str, port: int | None) -> None:
+        if port is not None:
+            try:
+                self._sock.bind((host, port))
+                return
+            except OSError as exc:
+                raise NetworkError(f"cannot bind UDP port {port}: {exc}") from exc
+        lo, hi = PORT_RANGE
+        for candidate in range(lo, hi + 1):
+            try:
+                self._sock.bind((host, candidate))
+                return
+            except OSError as exc:
+                if exc.errno != errno.EADDRINUSE:
+                    raise NetworkError(f"cannot bind: {exc}") from exc
+        raise NetworkError(f"no free UDP port in {lo}..{hi}")
+
+    # ------------------------------------------------------------------
+
+    @property
+    def port(self) -> int:
+        return self._sock.getsockname()[1]
+
+    def fileno(self) -> int:
+        """For select()-based event loops."""
+        return self._sock.fileno()
+
+    def now(self) -> float:
+        return self._clock.now()
+
+    def _transmit(self, raw: bytes, now: float) -> None:
+        try:
+            self._sock.sendto(raw, self._remote_addr)
+        except OSError:
+            # Transient send failures (e.g. ENETUNREACH while roaming) are
+            # indistinguishable from packet loss; SSP recovers either way.
+            pass
+
+    def receive_ready(self) -> int:
+        """Drain the socket; returns the number of datagrams processed."""
+        count = 0
+        now = self._clock.now()
+        while True:
+            try:
+                raw, addr = self._sock.recvfrom(65536)
+            except BlockingIOError:
+                break
+            except OSError:
+                break
+            self._handle_datagram(raw, addr, now)
+            count += 1
+        return count
+
+    def close(self) -> None:
+        self._sock.close()

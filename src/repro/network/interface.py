@@ -1,0 +1,190 @@
+"""Shared datagram-endpoint machinery.
+
+Both the real-UDP connection and the simulated-network endpoint perform the
+same bookkeeping per §2.2 of the paper:
+
+* prepend an incrementing sequence number and encrypt (via the session);
+* stamp each outgoing datagram and echo the peer's most recent timestamp,
+  *adjusted by the hold time* so delayed ACKs don't bias RTT samples;
+* fold timestamp replies into the RTT estimator;
+* on the server, re-target the connection to the source address of any
+  authentic datagram with a sequence number greater than any seen before —
+  this is the whole roaming mechanism.
+
+Subclasses provide raw transmission (:meth:`_transmit`) and feed inbound
+raw datagrams to :meth:`_handle_datagram`.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, Callable
+
+from repro.crypto.keys import DIRECTION_TO_CLIENT, DIRECTION_TO_SERVER, Nonce
+from repro.crypto.session import Message, NullSession, Session
+from repro.errors import CryptoError, NetworkError, PacketError
+from repro.network.packet import (
+    TIMESTAMP_NONE,
+    Packet,
+    timestamp16,
+    timestamp_diff,
+)
+from repro.network.rtt import RttEstimator
+
+
+class DatagramEndpoint(ABC):
+    """One end of an SSP datagram-layer connection."""
+
+    def __init__(
+        self,
+        session: Session | NullSession,
+        is_server: bool,
+        mtu: int = 500,
+    ) -> None:
+        self._session = session
+        self._is_server = is_server
+        self._direction = (
+            DIRECTION_TO_CLIENT if is_server else DIRECTION_TO_SERVER
+        )
+        self._mtu = mtu
+        self._next_seq = 0
+        self._expected_receiver_seq = 0
+        self._rtt = RttEstimator()
+        # Peer-timestamp bookkeeping for adjusted timestamp replies.
+        self._saved_timestamp: int | None = None
+        self._saved_timestamp_received_at: float | None = None
+        self._last_heard: float | None = None
+        self._remote_addr: Any = None
+        self._received_payloads: list[bytes] = []
+        #: Called after each authentic datagram is queued (event loops use
+        #: this to tick the transport immediately instead of polling).
+        self.on_datagram: Callable[[float], None] | None = None
+
+    # ------------------------------------------------------------------
+    # Subclass surface
+    # ------------------------------------------------------------------
+
+    @abstractmethod
+    def _transmit(self, raw: bytes, now: float) -> None:
+        """Put raw sealed bytes on the wire toward ``self._remote_addr``."""
+
+    # ------------------------------------------------------------------
+    # Sending
+    # ------------------------------------------------------------------
+
+    def send(self, payload: bytes, now: float) -> None:
+        """Seal and transmit one transport payload."""
+        if self._remote_addr is None:
+            raise NetworkError("no remote address known yet")
+        packet = self._new_packet(payload, now)
+        raw = self._session.encrypt(
+            Message(nonce=packet.nonce, text=packet.to_plaintext())
+        )
+        self._transmit(raw, now)
+
+    def _new_packet(self, payload: bytes, now: float) -> Packet:
+        reply = TIMESTAMP_NONE
+        if (
+            self._saved_timestamp is not None
+            and self._saved_timestamp_received_at is not None
+        ):
+            # Adjust the echoed timestamp by our hold time so the peer's
+            # RTT sample excludes our delayed-ACK pause (§2.2, change 2).
+            hold = now - self._saved_timestamp_received_at
+            reply = (self._saved_timestamp + int(hold)) & 0xFFFF
+            self._saved_timestamp = None
+            self._saved_timestamp_received_at = None
+        nonce = Nonce(direction=self._direction, seq=self._next_seq)
+        self._next_seq += 1
+        return Packet(
+            nonce=nonce,
+            timestamp=timestamp16(now),
+            timestamp_reply=reply,
+            payload=payload,
+        )
+
+    # ------------------------------------------------------------------
+    # Receiving
+    # ------------------------------------------------------------------
+
+    def _handle_datagram(self, raw: bytes, addr: Any, now: float) -> None:
+        """Unseal one inbound datagram; silently drops forgeries."""
+        try:
+            message = self._session.decrypt(raw)
+        except CryptoError:
+            return  # forged or corrupted; never trust it
+        expected_direction = (
+            DIRECTION_TO_SERVER if self._is_server else DIRECTION_TO_CLIENT
+        )
+        if message.nonce.direction != expected_direction:
+            return  # reflected packet
+        try:
+            packet = Packet.from_plaintext(message.nonce, message.text)
+        except PacketError:
+            return
+
+        if packet.seq >= self._expected_receiver_seq:
+            self._expected_receiver_seq = packet.seq + 1
+            self._saved_timestamp = packet.timestamp
+            self._saved_timestamp_received_at = now
+            self._last_heard = now
+            if self._is_server and addr is not None:
+                # Client roaming: newest authentic datagram wins (§2.2).
+                self._remote_addr = addr
+        # Out-of-order packets are still delivered: every datagram is an
+        # idempotent diff, so the transport layer handles them safely.
+        if packet.timestamp_reply != TIMESTAMP_NONE:
+            sample = timestamp_diff(timestamp16(now), packet.timestamp_reply)
+            # Ignore absurd samples caused by 16-bit wrap on idle links.
+            if sample < 60000:
+                self._rtt.observe(float(sample))
+        self._received_payloads.append(packet.payload)
+        if self.on_datagram is not None:
+            self.on_datagram(now)
+
+    def pop_received(self) -> list[bytes]:
+        """Drain payloads that arrived since the last call."""
+        out = self._received_payloads
+        self._received_payloads = []
+        return out
+
+    # ------------------------------------------------------------------
+    # Link state
+    # ------------------------------------------------------------------
+
+    @property
+    def is_server(self) -> bool:
+        return self._is_server
+
+    @property
+    def mtu(self) -> int:
+        return self._mtu
+
+    @property
+    def srtt(self) -> float:
+        return self._rtt.srtt
+
+    @property
+    def rttvar(self) -> float:
+        return self._rtt.rttvar
+
+    @property
+    def has_rtt_sample(self) -> bool:
+        return self._rtt.have_sample
+
+    def rto(self) -> float:
+        """Current retransmission timeout, milliseconds."""
+        return self._rtt.rto()
+
+    @property
+    def last_heard(self) -> float | None:
+        """Timestamp of the last authentic datagram, for liveness warnings."""
+        return self._last_heard
+
+    @property
+    def remote_addr(self) -> Any:
+        return self._remote_addr
+
+    def set_remote_addr(self, addr: Any) -> None:
+        """Set the initial peer address (client side / test harness)."""
+        self._remote_addr = addr

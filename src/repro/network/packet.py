@@ -1,0 +1,76 @@
+"""SSP packet format.
+
+Every outgoing datagram carries a millisecond timestamp and an optional
+"timestamp reply" containing the most recently received timestamp from the
+remote host, adjusted by the hold time (§2.2). Both are 16-bit millisecond
+values that wrap; RTT samples are computed modulo 2^16, which is safe
+because SSP's retransmission timer is capped at one second.
+
+Wire layout of a packet payload (before sealing):
+
+    2 bytes   timestamp        (sender clock, ms, mod 2^16)
+    2 bytes   timestamp reply  (0xFFFF = none)
+    N bytes   transport payload (fragment bytes)
+
+The cleartext 8-byte nonce (direction | sequence number) travels ahead of
+the sealed payload; see :mod:`repro.crypto.session`.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from repro.crypto.keys import Nonce
+from repro.errors import PacketError
+
+#: Default maximum datagram payload, matching Mosh's conservative SEND_MTU.
+MTU_DEFAULT = 500
+
+TIMESTAMP_NONE = 0xFFFF
+
+_HEADER = struct.Struct("!HH")
+
+
+def timestamp16(now_ms: float) -> int:
+    """Fold a millisecond clock into the 16-bit wire timestamp."""
+    return int(now_ms) & 0xFFFF
+
+
+def timestamp_diff(later: int, earlier: int) -> int:
+    """Elapsed milliseconds between two 16-bit timestamps (mod 2^16)."""
+    return (later - earlier) & 0xFFFF
+
+
+@dataclass(frozen=True)
+class Packet:
+    """One SSP datagram: sequence/direction plus timestamps plus payload."""
+
+    nonce: Nonce
+    timestamp: int
+    timestamp_reply: int
+    payload: bytes
+
+    @property
+    def seq(self) -> int:
+        return self.nonce.seq
+
+    @property
+    def direction(self) -> int:
+        return self.nonce.direction
+
+    def to_plaintext(self) -> bytes:
+        """Serialize the sealed portion (everything but the nonce)."""
+        return _HEADER.pack(self.timestamp, self.timestamp_reply) + self.payload
+
+    @classmethod
+    def from_plaintext(cls, nonce: Nonce, data: bytes) -> "Packet":
+        if len(data) < _HEADER.size:
+            raise PacketError(f"packet body too short: {len(data)} bytes")
+        timestamp, timestamp_reply = _HEADER.unpack_from(data)
+        return cls(
+            nonce=nonce,
+            timestamp=timestamp,
+            timestamp_reply=timestamp_reply,
+            payload=data[_HEADER.size :],
+        )

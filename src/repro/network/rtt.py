@@ -1,0 +1,75 @@
+"""Round-trip time estimation.
+
+SSP uses "the algorithm of TCP" (RFC 6298) with Mosh's three changes (§2.2):
+
+1. Every datagram has a unique sequence number, so retransmission ambiguity
+   (Karn's problem) never arises — every timestamped reply is a valid
+   sample.
+2. The remote side adjusts its timestamp reply by its hold time, so delayed
+   ACKs do not inflate samples (handled by the endpoint, not here).
+3. The lower limit on the retransmission timeout is 50 ms instead of one
+   second. Mosh additionally caps the RTO at 1000 ms, so a lost keystroke
+   is always retried within a second.
+"""
+
+from __future__ import annotations
+
+MIN_RTO_MS = 50.0
+MAX_RTO_MS = 1000.0
+
+_ALPHA = 1.0 / 8.0  # SRTT gain (RFC 6298)
+_BETA = 1.0 / 4.0  # RTTVAR gain
+
+
+class RttEstimator:
+    """Smoothed RTT / RTT variation / retransmission timeout."""
+
+    def __init__(
+        self,
+        initial_srtt_ms: float = 1000.0,
+        min_rto_ms: float = MIN_RTO_MS,
+        max_rto_ms: float = MAX_RTO_MS,
+    ) -> None:
+        if min_rto_ms <= 0 or max_rto_ms < min_rto_ms:
+            raise ValueError(
+                f"bad RTO bounds: min={min_rto_ms} max={max_rto_ms}"
+            )
+        self._srtt = float(initial_srtt_ms)
+        self._rttvar = float(initial_srtt_ms) / 2.0
+        self._have_sample = False
+        self._min_rto = min_rto_ms
+        self._max_rto = max_rto_ms
+
+    @property
+    def srtt(self) -> float:
+        """Smoothed round-trip time, milliseconds."""
+        return self._srtt
+
+    @property
+    def rttvar(self) -> float:
+        """Round-trip time variation, milliseconds."""
+        return self._rttvar
+
+    @property
+    def have_sample(self) -> bool:
+        """Whether at least one measurement has been folded in."""
+        return self._have_sample
+
+    def observe(self, sample_ms: float) -> None:
+        """Fold in one RTT measurement (RFC 6298 §2)."""
+        if sample_ms < 0:
+            raise ValueError(f"negative RTT sample: {sample_ms}")
+        if not self._have_sample:
+            self._srtt = sample_ms
+            self._rttvar = sample_ms / 2.0
+            self._have_sample = True
+        else:
+            self._rttvar = (1 - _BETA) * self._rttvar + _BETA * abs(
+                self._srtt - sample_ms
+            )
+            self._srtt = (1 - _ALPHA) * self._srtt + _ALPHA * sample_ms
+
+    def rto(self) -> float:
+        """Retransmission timeout: SRTT + 4·RTTVAR, clamped to Mosh bounds."""
+        raw = self._srtt + 4.0 * self._rttvar
+        return min(self._max_rto, max(self._min_rto, raw))

@@ -1,0 +1,13 @@
+"""Speculative local echo (§3.2).
+
+The client guesses the effect of each keystroke on the screen and, once
+confident, displays the guess immediately — underlined on high-delay links
+until the server confirms. Predictions are grouped into *epochs*: an epoch
+starts tentative (background only); when the server confirms any prediction
+from it, the whole epoch and its successors display immediately. Hard-to-
+predict keystrokes (control characters, arrows) end the epoch.
+"""
+
+from repro.prediction.engine import DisplayPreference, PredictionEngine
+
+__all__ = ["DisplayPreference", "PredictionEngine"]

@@ -1,0 +1,10 @@
+"""Complete Mosh sessions: client + server wired over a network.
+
+:mod:`repro.session.inprocess` assembles the whole system inside the
+deterministic simulator — the configuration every experiment runs on.
+The real-UDP/pty equivalent lives in :mod:`repro.app`.
+"""
+
+from repro.session.inprocess import InProcessSession, MoshClient, MoshServer
+
+__all__ = ["InProcessSession", "MoshClient", "MoshServer"]

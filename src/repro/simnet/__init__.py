@@ -1,0 +1,49 @@
+"""Deterministic discrete-event network simulator.
+
+The paper's evaluation ran over live networks (Sprint EV-DO, Verizon LTE,
+an MIT→Singapore path) and a Linux `netem` router. None of those are
+available here, so this package provides the closest synthetic equivalent:
+an event-driven simulator with per-direction links modelling propagation
+delay, jitter, i.i.d. packet loss, bandwidth, and finite drop-tail buffers
+(for the bufferbloat experiment). Everything is seeded and deterministic.
+
+* :mod:`repro.simnet.eventloop` — the scheduler and simulated clock.
+* :mod:`repro.simnet.link` — one-directional link models.
+* :mod:`repro.simnet.host` — simulated UDP endpoints with roaming.
+* :mod:`repro.simnet.tcp` — a simplified TCP for the SSH baseline.
+* :mod:`repro.simnet.netem` — canned link profiles matching the paper's
+  experimental setups.
+"""
+
+from repro.simnet.eventloop import EventLoop
+from repro.simnet.host import SimNetwork, SimUdpEndpoint
+from repro.simnet.link import Link, LinkConfig
+from repro.simnet.netem import (
+    evdo_profile,
+    lossy_profile,
+    lte_bufferbloat_profile,
+    transoceanic_profile,
+)
+from repro.simnet.tcp import TcpEndpoint, tcp_pair
+from repro.simnet.varying import (
+    RateProcess,
+    RateProcessConfig,
+    attach_rate_process,
+)
+
+__all__ = [
+    "EventLoop",
+    "Link",
+    "LinkConfig",
+    "RateProcess",
+    "RateProcessConfig",
+    "SimNetwork",
+    "SimUdpEndpoint",
+    "TcpEndpoint",
+    "attach_rate_process",
+    "tcp_pair",
+    "evdo_profile",
+    "lossy_profile",
+    "lte_bufferbloat_profile",
+    "transoceanic_profile",
+]

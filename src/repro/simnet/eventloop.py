@@ -1,0 +1,94 @@
+"""Discrete-event scheduler with a simulated millisecond clock.
+
+Events fire in timestamp order; ties break by scheduling order, which makes
+every simulation fully deterministic for a given seed and call sequence.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable
+
+from repro.clock import SimulatedClock
+from repro.errors import SimulationError
+
+Callback = Callable[[], None]
+
+
+class EventLoop:
+    """A priority-queue event loop driving a :class:`SimulatedClock`."""
+
+    def __init__(self, start_ms: float = 0.0) -> None:
+        self.clock = SimulatedClock(start_ms)
+        self._queue: list[tuple[float, int, Callback]] = []
+        self._counter = 0
+        self._cancelled: set[int] = set()
+
+    def now(self) -> float:
+        return self.clock.now()
+
+    def schedule_at(self, when_ms: float, callback: Callback) -> int:
+        """Schedule ``callback`` at absolute time; returns a cancel token."""
+        if when_ms < self.clock.now():
+            raise SimulationError(
+                f"cannot schedule in the past: now={self.clock.now()} "
+                f"when={when_ms}"
+            )
+        token = self._counter
+        self._counter += 1
+        heapq.heappush(self._queue, (when_ms, token, callback))
+        return token
+
+    def schedule(self, delay_ms: float, callback: Callback) -> int:
+        """Schedule ``callback`` after a relative delay."""
+        if delay_ms < 0:
+            raise SimulationError(f"negative delay {delay_ms}")
+        return self.schedule_at(self.clock.now() + delay_ms, callback)
+
+    def cancel(self, token: int) -> None:
+        """Cancel a scheduled event (no-op if it already fired)."""
+        self._cancelled.add(token)
+
+    @property
+    def pending(self) -> int:
+        """Number of events still queued (including cancelled ones)."""
+        return len(self._queue)
+
+    def peek_time(self) -> float | None:
+        """Time of the next live event, or None if the queue is empty."""
+        while self._queue and self._queue[0][1] in self._cancelled:
+            _, token, _ = heapq.heappop(self._queue)
+            self._cancelled.discard(token)
+        if not self._queue:
+            return None
+        return self._queue[0][0]
+
+    def _pop_and_run(self) -> None:
+        when, token, callback = heapq.heappop(self._queue)
+        if token in self._cancelled:
+            self._cancelled.discard(token)
+            return
+        self.clock.advance_to(when)
+        callback()
+
+    def run_until(self, when_ms: float) -> None:
+        """Run all events with time <= ``when_ms``, then set now to it."""
+        while True:
+            next_time = self.peek_time()
+            if next_time is None or next_time > when_ms:
+                break
+            self._pop_and_run()
+        if when_ms > self.clock.now():
+            self.clock.advance_to(when_ms)
+
+    def run_for(self, duration_ms: float) -> None:
+        """Run events for a relative duration."""
+        self.run_until(self.clock.now() + duration_ms)
+
+    def run_until_idle(self, max_events: int = 1_000_000) -> None:
+        """Drain the queue completely (bounded by ``max_events``)."""
+        for _ in range(max_events):
+            if self.peek_time() is None:
+                return
+            self._pop_and_run()
+        raise SimulationError(f"event loop still busy after {max_events} events")

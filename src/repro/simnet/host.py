@@ -1,0 +1,119 @@
+"""Simulated UDP endpoints and the network that routes between them.
+
+A :class:`SimNetwork` owns two directed links — ``uplink`` (client→server)
+and ``downlink`` (server→client) — and a registry of endpoint addresses.
+Addresses are plain strings; a roaming client simply starts sending from a
+new source address (:meth:`SimUdpEndpoint.roam`), and the server's datagram
+layer re-targets automatically when the next authentic datagram arrives,
+exactly as in §2.2 of the paper.
+
+Links may be shared with other traffic sources (the bulk TCP flow in the
+LTE bufferbloat experiment), so queueing interactions are realistic.
+"""
+
+from __future__ import annotations
+
+from random import Random
+
+from repro.crypto.session import NullSession, Session
+from repro.errors import SimulationError
+from repro.network.interface import DatagramEndpoint
+from repro.simnet.eventloop import EventLoop
+from repro.simnet.link import Link, LinkConfig
+
+CLIENT_SIDE = "client"
+SERVER_SIDE = "server"
+
+
+class SimNetwork:
+    """Routes datagrams between simulated endpoints through the two links."""
+
+    def __init__(
+        self,
+        loop: EventLoop,
+        uplink_config: LinkConfig,
+        downlink_config: LinkConfig,
+        seed: int = 0,
+    ) -> None:
+        self.loop = loop
+        rng = Random(seed)
+        # Independent RNG streams per direction so loss draws on one
+        # direction can't perturb the other.
+        self.uplink = Link(loop, uplink_config, Random(rng.getrandbits(64)))
+        self.downlink = Link(loop, downlink_config, Random(rng.getrandbits(64)))
+        self._endpoints: dict[str, "SimUdpEndpoint"] = {}
+
+    def register(self, addr: str, endpoint: "SimUdpEndpoint") -> None:
+        if addr in self._endpoints and self._endpoints[addr] is not endpoint:
+            raise SimulationError(f"address {addr!r} already registered")
+        self._endpoints[addr] = endpoint
+
+    def unregister(self, addr: str) -> None:
+        self._endpoints.pop(addr, None)
+
+    def link_for(self, from_side: str) -> Link:
+        if from_side == CLIENT_SIDE:
+            return self.uplink
+        if from_side == SERVER_SIDE:
+            return self.downlink
+        raise SimulationError(f"unknown side {from_side!r}")
+
+    def send_datagram(
+        self, from_side: str, src_addr: str, dst_addr: str, raw: bytes
+    ) -> None:
+        """Route raw bytes from ``src_addr`` toward ``dst_addr``."""
+        link = self.link_for(from_side)
+
+        def deliver(data: bytes) -> None:
+            endpoint = self._endpoints.get(dst_addr)
+            if endpoint is not None:
+                endpoint.deliver(data, src_addr)
+
+        link.send(raw, len(raw), deliver)
+
+
+class SimUdpEndpoint(DatagramEndpoint):
+    """A datagram endpoint attached to a :class:`SimNetwork`."""
+
+    def __init__(
+        self,
+        network: SimNetwork,
+        session: Session | NullSession,
+        is_server: bool,
+        local_addr: str,
+        mtu: int = 500,
+    ) -> None:
+        super().__init__(session=session, is_server=is_server, mtu=mtu)
+        self._network = network
+        self._side = SERVER_SIDE if is_server else CLIENT_SIDE
+        self._local_addr = local_addr
+        network.register(local_addr, self)
+        self.datagrams_sent = 0
+        self.bytes_sent = 0
+
+    @property
+    def local_addr(self) -> str:
+        return self._local_addr
+
+    def roam(self, new_addr: str) -> None:
+        """Move to a new source address (e.g. Wi-Fi → cellular handoff).
+
+        The client does not notify anyone; the server learns the new
+        address from the source of the next authentic datagram.
+        """
+        if self._is_server:
+            raise SimulationError("only the client roams")
+        self._network.unregister(self._local_addr)
+        self._local_addr = new_addr
+        self._network.register(new_addr, self)
+
+    def _transmit(self, raw: bytes, now: float) -> None:
+        self.datagrams_sent += 1
+        self.bytes_sent += len(raw)
+        self._network.send_datagram(
+            self._side, self._local_addr, str(self._remote_addr), raw
+        )
+
+    def deliver(self, raw: bytes, src_addr: str) -> None:
+        """Called by the network when a datagram arrives."""
+        self._handle_datagram(raw, src_addr, self._network.loop.now())

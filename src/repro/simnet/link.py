@@ -1,0 +1,127 @@
+"""One-directional link models.
+
+A :class:`Link` applies, in order:
+
+1. i.i.d. packet loss (netem-style, seeded RNG);
+2. serialization through a rate limiter with a finite drop-tail FIFO
+   buffer (set ``queue_bytes`` deep to reproduce bufferbloat);
+3. fixed propagation delay plus optional uniform jitter.
+
+By default delivery order is preserved (jitter stretches but never reorders,
+like a FIFO queue); set ``allow_reorder=True`` to let jittered packets pass
+each other, which exercises SSP's tolerance of reordering.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from random import Random
+from typing import Any, Callable
+
+from repro.errors import SimulationError
+from repro.simnet.eventloop import EventLoop
+
+DeliverFn = Callable[[Any], None]
+
+
+@dataclass(frozen=True)
+class LinkConfig:
+    """Parameters for one direction of a path."""
+
+    delay_ms: float = 0.0
+    loss: float = 0.0
+    jitter_ms: float = 0.0
+    #: Bytes per millisecond; None = infinite capacity (no serialization).
+    bandwidth_bytes_per_ms: float | None = None
+    #: Drop-tail buffer bound in bytes; None = unbounded queue.
+    queue_bytes: int | None = None
+    allow_reorder: bool = False
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.loss < 1.0:
+            raise SimulationError(f"loss probability {self.loss} outside [0,1)")
+        if self.delay_ms < 0 or self.jitter_ms < 0:
+            raise SimulationError("delay and jitter must be non-negative")
+        if (
+            self.bandwidth_bytes_per_ms is not None
+            and self.bandwidth_bytes_per_ms <= 0
+        ):
+            raise SimulationError("bandwidth must be positive")
+
+
+class Link:
+    """A lossy, delayed, rate-limited one-way pipe for opaque packets."""
+
+    def __init__(self, loop: EventLoop, config: LinkConfig, rng: Random) -> None:
+        self._loop = loop
+        self.config = config
+        self._rng = rng
+        self._busy_until = 0.0  # when the serializer frees up
+        self._queued_bytes = 0
+        self._last_arrival = 0.0  # FIFO ordering floor
+        # Counters for experiments and tests.
+        self.packets_sent = 0
+        self.packets_dropped_loss = 0
+        self.packets_dropped_queue = 0
+        self.packets_delivered = 0
+        self.bytes_delivered = 0
+
+    def queue_depth_bytes(self) -> int:
+        """Bytes currently waiting in (or being serialized by) the buffer."""
+        return self._queued_bytes
+
+    def queueing_delay_ms(self) -> float:
+        """Time a packet entering now would wait before serialization."""
+        return max(0.0, self._busy_until - self._loop.now())
+
+    def send(self, packet: Any, size_bytes: int, deliver: DeliverFn) -> bool:
+        """Offer a packet to the link.
+
+        Returns True if the packet was accepted (it may still be lost),
+        False if the drop-tail buffer rejected it.
+        """
+        if size_bytes <= 0:
+            raise SimulationError(f"packet size must be positive: {size_bytes}")
+        self.packets_sent += 1
+        cfg = self.config
+        now = self._loop.now()
+
+        if cfg.bandwidth_bytes_per_ms is not None:
+            backlog = max(0.0, self._busy_until - now)
+            backlog_bytes = backlog * cfg.bandwidth_bytes_per_ms
+            if (
+                cfg.queue_bytes is not None
+                and backlog_bytes + size_bytes > cfg.queue_bytes
+            ):
+                self.packets_dropped_queue += 1
+                return False
+            start = max(now, self._busy_until)
+            tx_time = size_bytes / cfg.bandwidth_bytes_per_ms
+            self._busy_until = start + tx_time
+            depart = self._busy_until
+        else:
+            depart = now
+
+        # Random loss is applied at departure (after the queue) like netem.
+        if cfg.loss > 0.0 and self._rng.random() < cfg.loss:
+            self.packets_dropped_loss += 1
+            # The serializer time was still consumed (the bytes were sent;
+            # they die on the wire), so _busy_until stays advanced.
+            return True
+
+        jitter = self._rng.uniform(0.0, cfg.jitter_ms) if cfg.jitter_ms else 0.0
+        arrival = depart + cfg.delay_ms + jitter
+        if not cfg.allow_reorder:
+            arrival = max(arrival, self._last_arrival)
+            self._last_arrival = arrival
+
+        self._queued_bytes += size_bytes
+
+        def _deliver() -> None:
+            self._queued_bytes -= size_bytes
+            self.packets_delivered += 1
+            self.bytes_delivered += size_bytes
+            deliver(packet)
+
+        self._loop.schedule_at(arrival, _deliver)
+        return True

@@ -1,0 +1,87 @@
+"""Canned link profiles matching the paper's four experimental setups.
+
+Each function returns ``(uplink_config, downlink_config)`` for
+:class:`repro.simnet.host.SimNetwork`. Parameters are chosen to match the
+path characteristics the paper reports, not to tune results: e.g. the EV-DO
+profile's one-way delays sum to the paper's "average round-trip time ...
+about half a second".
+"""
+
+from __future__ import annotations
+
+from repro.simnet.link import LinkConfig
+
+
+def evdo_profile() -> tuple[LinkConfig, LinkConfig]:
+    """Sprint EV-DO (3G), Cambridge, Mass. — unloaded, RTT ≈ 500 ms.
+
+    EV-DO Rev. A is roughly 150 kB/s down / 20 kB/s up with high base
+    latency and mild jitter.
+    """
+    uplink = LinkConfig(
+        delay_ms=250.0,
+        jitter_ms=40.0,
+        loss=0.002,
+        bandwidth_bytes_per_ms=20.0,
+        queue_bytes=200_000,
+    )
+    downlink = LinkConfig(
+        delay_ms=250.0,
+        jitter_ms=40.0,
+        loss=0.002,
+        bandwidth_bytes_per_ms=150.0,
+        queue_bytes=500_000,
+    )
+    return uplink, downlink
+
+
+def lte_bufferbloat_profile() -> tuple[LinkConfig, LinkConfig]:
+    """Verizon LTE with a deep downlink buffer (bufferbloat).
+
+    Base RTT is small (≈50 ms) and the downlink is fast (≈1 MB/s), but the
+    carrier buffer is effectively bottomless: cellular links of the
+    paper's era delayed rather than dropped. A concurrent bulk TCP
+    download therefore keeps several seconds of data standing in the
+    queue — bounded by the receiver window, not by loss — which is what
+    pushes SSH's median keystroke latency to ≈5 s in the paper.
+    """
+    uplink = LinkConfig(
+        delay_ms=25.0,
+        jitter_ms=5.0,
+        loss=0.0,
+        bandwidth_bytes_per_ms=500.0,
+        queue_bytes=None,
+    )
+    downlink = LinkConfig(
+        delay_ms=25.0,
+        jitter_ms=5.0,
+        loss=0.0,
+        bandwidth_bytes_per_ms=1000.0,
+        queue_bytes=None,
+    )
+    return uplink, downlink
+
+
+def transoceanic_profile() -> tuple[LinkConfig, LinkConfig]:
+    """MIT → Singapore wired path (Amazon EC2), RTT ≈ 273 ms, σ ≈ 9 ms."""
+    uplink = LinkConfig(
+        delay_ms=136.5,
+        jitter_ms=9.0,
+        loss=0.0,
+        bandwidth_bytes_per_ms=None,
+    )
+    downlink = LinkConfig(
+        delay_ms=136.5,
+        jitter_ms=9.0,
+        loss=0.0,
+        bandwidth_bytes_per_ms=None,
+    )
+    return uplink, downlink
+
+
+def lossy_profile(loss_each_way: float = 0.29) -> tuple[LinkConfig, LinkConfig]:
+    """The netem testbed: 100 ms RTT, 29 % i.i.d. loss in each direction,
+    giving 50 % round-trip packet loss (§4)."""
+    uplink = LinkConfig(delay_ms=50.0, loss=loss_each_way)
+    downlink = LinkConfig(delay_ms=50.0, loss=loss_each_way)
+    return uplink, downlink

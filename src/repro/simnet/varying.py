@@ -1,0 +1,93 @@
+"""Time-varying link rates: the cellular radio model.
+
+The paper's cellular paths (EV-DO, LTE) are not constant-rate pipes — the
+radio scheduler re-allocates capacity every few tens of milliseconds, which
+is what spreads SSH's latencies on the LTE run (σ 2.14 s) even though the
+standing queue is steady on average. :class:`RateProcess` generates a
+deterministic, seeded rate trajectory; :func:`attach_rate_process` drives a
+:class:`~repro.simnet.link.Link`'s bandwidth from it.
+
+The process is a mean-reverting random walk in log-rate (a discrete
+Ornstein–Uhlenbeck process), the standard simple model for cellular link
+capacity: rates stay positive, fluctuations are proportional, and the
+long-run average equals the configured nominal rate.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+from random import Random
+
+from repro.errors import SimulationError
+from repro.simnet.eventloop import EventLoop
+from repro.simnet.link import Link
+
+
+@dataclass(frozen=True)
+class RateProcessConfig:
+    #: Long-run mean rate, bytes per millisecond.
+    mean_bytes_per_ms: float
+    #: Std-dev of log-rate fluctuations (0.3 ≈ ±35 % swings).
+    sigma: float = 0.3
+    #: Mean-reversion strength per step (0 = pure random walk).
+    reversion: float = 0.2
+    #: How often the radio re-allocates, ms.
+    step_ms: float = 40.0
+    #: Hard floor so a deep fade never divides by zero.
+    min_bytes_per_ms: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.mean_bytes_per_ms <= 0:
+            raise SimulationError("mean rate must be positive")
+        if not 0.0 <= self.reversion <= 1.0:
+            raise SimulationError("reversion must be in [0, 1]")
+        if self.step_ms <= 0:
+            raise SimulationError("step must be positive")
+
+
+class RateProcess:
+    """A seeded mean-reverting log-rate walk."""
+
+    def __init__(self, config: RateProcessConfig, seed: int = 0) -> None:
+        self.config = config
+        self._rng = Random(seed)
+        self._log_offset = 0.0  # log(rate / mean)
+
+    def step(self) -> float:
+        """Advance one scheduler interval; returns the new rate (B/ms)."""
+        cfg = self.config
+        noise = self._rng.gauss(0.0, cfg.sigma * math.sqrt(cfg.step_ms / 1000.0))
+        self._log_offset = (1.0 - cfg.reversion) * self._log_offset + noise
+        rate = cfg.mean_bytes_per_ms * math.exp(self._log_offset)
+        return max(cfg.min_bytes_per_ms, rate)
+
+    def trajectory(self, steps: int) -> list[float]:
+        """A rate sample path (useful for tests and plots)."""
+        return [self.step() for _ in range(steps)]
+
+
+def attach_rate_process(
+    loop: EventLoop,
+    link: Link,
+    config: RateProcessConfig,
+    seed: int = 0,
+) -> RateProcess:
+    """Drive ``link``'s bandwidth from a rate process on ``loop``.
+
+    Each step replaces the link's config with one carrying the new rate;
+    packets already being serialized keep their departure times (the
+    radio reallocates going forward, not retroactively), which is the
+    standard fluid approximation.
+    """
+    if link.config.bandwidth_bytes_per_ms is None:
+        raise SimulationError("cannot vary the rate of an infinite-rate link")
+    process = RateProcess(config, seed)
+
+    def tick() -> None:
+        rate = process.step()
+        link.config = replace(link.config, bandwidth_bytes_per_ms=rate)
+        loop.schedule(config.step_ms, tick)
+
+    loop.schedule(config.step_ms, tick)
+    return process

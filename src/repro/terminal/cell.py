@@ -1,0 +1,76 @@
+"""Cells and rows of the framebuffer.
+
+Cells are immutable so framebuffer copies (taken for every sent SSP state)
+can share them freely; a row copy is a shallow list copy. Rows carry a
+generation number from a global counter: two rows with equal generations
+are guaranteed content-equal, which makes the per-frame diff scan cheap.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from repro.terminal.renditions import DEFAULT_RENDITIONS, Renditions
+
+
+@dataclass(frozen=True)
+class Cell:
+    """One character cell.
+
+    ``contents`` is the base character plus any combining characters; an
+    empty string means blank (rendered as a space). ``width`` is 1 or 2
+    for a leading cell, 0 for the continuation of a wide character.
+    """
+
+    contents: str = ""
+    width: int = 1
+    renditions: Renditions = DEFAULT_RENDITIONS
+
+    def is_blank(self) -> bool:
+        return self.contents in ("", " ") and self.width == 1
+
+    def display_text(self) -> str:
+        """What to print for this cell (blank cells print a space)."""
+        if self.width == 0:
+            return ""
+        return self.contents if self.contents else " "
+
+
+BLANK_CELL = Cell()
+
+_row_gen = itertools.count(1)
+
+
+@dataclass
+class Row:
+    """A row of cells plus the soft-wrap flag."""
+
+    cells: list[Cell]
+    wrap: bool = False
+    gen: int = field(default_factory=lambda: next(_row_gen))
+
+    @classmethod
+    def blank(cls, width: int, renditions: Renditions = DEFAULT_RENDITIONS) -> "Row":
+        if renditions == DEFAULT_RENDITIONS:
+            cells = [BLANK_CELL] * width
+        else:
+            blank = Cell(renditions=renditions)
+            cells = [blank] * width
+        return cls(cells=cells)
+
+    def copy(self) -> "Row":
+        return Row(cells=list(self.cells), wrap=self.wrap, gen=self.gen)
+
+    def touch(self) -> None:
+        """Mark mutated: allocate a fresh generation."""
+        self.gen = next(_row_gen)
+
+    def set_cell(self, col: int, cell: Cell) -> None:
+        self.cells[col] = cell
+        self.touch()
+
+    def content_equals(self, other: "Row") -> bool:
+        if self.gen == other.gen:
+            return True
+        return self.cells == other.cells and self.wrap == other.wrap

@@ -1,0 +1,59 @@
+"""G0/G1 character set support (DEC Special Graphics line drawing).
+
+Applications like ``tmux`` and ``dialog`` draw boxes by designating the DEC
+Special Graphics set (``ESC ( 0``) and printing ASCII letters that map to
+line-drawing glyphs. We translate to the Unicode equivalents at print time,
+exactly as xterm's UTF-8 mode does.
+"""
+
+from __future__ import annotations
+
+#: ASCII → Unicode mapping for the DEC Special Graphics and Line Drawing set.
+DEC_SPECIAL_GRAPHICS: dict[str, str] = {
+    "`": "◆",  # diamond
+    "a": "▒",  # checkerboard
+    "b": "␉",  # HT symbol
+    "c": "␌",  # FF symbol
+    "d": "␍",  # CR symbol
+    "e": "␊",  # LF symbol
+    "f": "°",  # degree
+    "g": "±",  # plus/minus
+    "h": "␤",  # NL symbol
+    "i": "␋",  # VT symbol
+    "j": "┘",  # └ corner (lower right)
+    "k": "┐",  # ┐ corner (upper right)
+    "l": "┌",  # ┌ corner (upper left)
+    "m": "└",  # └ corner (lower left)
+    "n": "┼",  # crossing lines
+    "o": "⎺",  # scan line 1
+    "p": "⎻",  # scan line 3
+    "q": "─",  # horizontal line
+    "r": "⎼",  # scan line 7
+    "s": "⎽",  # scan line 9
+    "t": "├",  # ├
+    "u": "┤",  # ┤
+    "v": "┴",  # ┴
+    "w": "┬",  # ┬
+    "x": "│",  # vertical line
+    "y": "≤",  # <=
+    "z": "≥",  # >=
+    "{": "π",  # pi
+    "|": "≠",  # !=
+    "}": "£",  # pound sterling
+    "~": "·",  # centered dot
+}
+
+CHARSET_ASCII = "B"
+CHARSET_DEC_GRAPHICS = "0"
+CHARSET_UK = "A"
+
+_UK = {"#": "£"}
+
+
+def translate(charset: str, ch: str) -> str:
+    """Map a printed character through the designated character set."""
+    if charset == CHARSET_DEC_GRAPHICS:
+        return DEC_SPECIAL_GRAPHICS.get(ch, ch)
+    if charset == CHARSET_UK:
+        return _UK.get(ch, ch)
+    return ch

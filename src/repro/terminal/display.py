@@ -1,0 +1,275 @@
+"""Minimal-update frame diffs.
+
+``Display.new_frame(old, new)`` produces the ANSI byte string that
+transforms a terminal showing ``old`` into one showing ``new`` — "the
+minimal message that transforms the client's frame to the current one"
+(§2.3). The fundamental invariant, enforced by property-based tests::
+
+    e = emulator showing old
+    e.write(Display.new_frame(old, new))
+    e.fb == new                      # Framebuffer equality
+
+The diff speaks a restricted vocabulary — CUP, SGR, ECH, printed text, OSC
+title, BEL, and mode toggles — whose interpretation does not depend on any
+receiver state outside Framebuffer equality, so applying a diff can never
+desynchronize a client that was content-equal to ``old``.
+"""
+
+from __future__ import annotations
+
+from repro.errors import TerminalError
+from repro.terminal.cell import Cell, Row
+from repro.terminal.framebuffer import Framebuffer
+from repro.terminal.renditions import DEFAULT_RENDITIONS, Renditions
+
+
+class Display:
+    """Stateless frame-diff generator."""
+
+    @staticmethod
+    def new_frame(
+        old: Framebuffer | None,
+        new: Framebuffer,
+        scroll_optimization: bool = True,
+    ) -> bytes:
+        """Bytes transforming ``old`` into ``new``.
+
+        ``old=None`` (or a size mismatch) produces a full repaint preceded
+        by a reset-style clear. ``scroll_optimization`` controls whether a
+        detected vertical shift is expressed as one scroll sequence plus
+        the fresh rows (like Mosh) instead of rewriting every moved row.
+        """
+        if old is not None and (old.width, old.height) == (
+            new.width,
+            new.height,
+        ):
+            return Display._incremental(old, new, scroll_optimization)
+        return Display._repaint(new)
+
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _repaint(new: Framebuffer) -> bytes:
+        out = bytearray()
+        out += b"\x1b[0m\x1b[2J"  # reset pen, clear screen
+        pen_state: list[Renditions | None] = [None]
+        cleared = Cell()  # what \x1b[2J leaves in every cell
+        for r in range(new.height):
+            if any(c != cleared for c in new.rows[r].cells):
+                Display._emit_row_segment(
+                    out, r, 0, new.rows[r].cells, pen_state
+                )
+        Display._emit_modes(out, None, new)
+        Display._finish(out, new, pen_state)
+        return bytes(out)
+
+    @staticmethod
+    def _detect_scroll(old: Framebuffer, new: Framebuffer) -> int:
+        """Rows the screen scrolled up by (0 = no worthwhile scroll).
+
+        Scrolling preserves Row identity in the framebuffer, so surviving
+        rows keep their generation numbers — matching generations across a
+        vertical shift is both cheap and unambiguous.
+        """
+        height = new.height
+        best_shift = 0
+        best_matches = 0
+        for shift in range(1, min(height, 24)):
+            matches = sum(
+                1
+                for r in range(height - shift)
+                if new.rows[r].gen == old.rows[r + shift].gen
+            )
+            if matches > best_matches:
+                best_matches = matches
+                best_shift = shift
+        if best_matches >= max(4, (new.height - best_shift) // 2):
+            return best_shift
+        return 0
+
+    @staticmethod
+    def _incremental(
+        old: Framebuffer, new: Framebuffer, scroll_optimization: bool = True
+    ) -> bytes:
+        out = bytearray()
+        pen_state: list[Renditions | None] = [None]
+        old_rows = old.rows
+        shift = Display._detect_scroll(old, new) if scroll_optimization else 0
+        if shift:
+            # One scroll sequence moves the surviving rows; only the rows
+            # that actually changed (usually just the new bottom lines)
+            # are rewritten below. Reset the pen first so the scrolled-in
+            # blanks are default-background erase cells.
+            out += b"\x1b[0m"
+            pen_state[0] = DEFAULT_RENDITIONS
+            out += f"\x1b[{shift}S".encode("ascii")
+            blank = Row.blank(new.width)
+            old_rows = old.rows[shift:] + [blank] * shift
+        for r in range(new.height):
+            old_row, new_row = old_rows[r], new.rows[r]
+            if old_row.gen == new_row.gen or old_row.cells == new_row.cells:
+                continue
+            Display._emit_row_diff(out, r, old_row, new_row, pen_state)
+        Display._emit_modes(out, old, new)
+        # The bell is synchronized as an explicit field of the Complete
+        # state object, not as BEL bytes (an unbounded BEL delta would
+        # otherwise bloat a diff).
+        Display._finish(out, new, pen_state)
+        return bytes(out)
+
+    # ------------------------------------------------------------------
+    # Row rendering
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _emit_row_diff(
+        out: bytearray,
+        row_idx: int,
+        old_row: Row,
+        new_row: Row,
+        pen_state: list[Renditions | None],
+    ) -> None:
+        old_cells, new_cells = old_row.cells, new_row.cells
+        width = len(new_cells)
+        differ = [a != b for a, b in zip(old_cells, new_cells)]
+        # A differing continuation cell is repaired by reprinting its
+        # leader (the canonical invariant guarantees one exists).
+        for c in range(width - 1, 0, -1):
+            if differ[c] and new_cells[c].width == 0:
+                differ[c - 1] = True
+        col = 0
+        while col < width:
+            if not differ[col] or new_cells[col].width == 0:
+                col += 1
+                continue
+            # Gather a span of work, absorbing short equal gaps so we
+            # don't emit a cursor move for every other cell.
+            end = col + 1
+            gap = 0
+            while end < width:
+                if differ[end] or new_cells[end].width == 0:
+                    end += 1
+                    gap = 0
+                elif gap < 4:
+                    end += 1
+                    gap += 1
+                else:
+                    break
+            end -= gap
+            Display._emit_row_segment(
+                out, row_idx, col, new_cells[col:end], pen_state
+            )
+            col = end
+
+    @staticmethod
+    def _emit_row_segment(
+        out: bytearray,
+        row_idx: int,
+        start_col: int,
+        cells: list[Cell],
+        pen_state: list[Renditions | None],
+    ) -> None:
+        """Write ``cells`` at (row_idx, start_col) via prints and ECH."""
+        # Trim leading/trailing cells that are nothing to draw? No: caller
+        # chose the span; render everything given.
+        out += Display._cup(row_idx, start_col)
+        col = start_col
+        i = 0
+        n = len(cells)
+        while i < n:
+            cell = cells[i]
+            if cell.width == 0:
+                # Unreachable under the canonical invariant (continuations
+                # are consumed by their leader), but stay aligned anyway.
+                out += b"\x1b[1C"
+                i += 1
+                col += 1
+                continue
+            if Display._is_erase_cell(cell):
+                # Group a run of erase-form cells into one ECH.
+                j = i
+                bg = cell.renditions.background
+                while (
+                    j < n
+                    and Display._is_erase_cell(cells[j])
+                    and cells[j].renditions.background == bg
+                ):
+                    j += 1
+                run = j - i
+                Display._set_pen(out, pen_state, cell.renditions)
+                out += f"\x1b[{run}X".encode("ascii")
+                col += run
+                i = j
+                if i < n:
+                    out += f"\x1b[{run}C".encode("ascii")  # hop over
+                continue
+            Display._set_pen(out, pen_state, cell.renditions)
+            out += cell.display_text().encode("utf-8")
+            col += cell.width
+            i += cell.width  # skip continuation inside our slice
+        del col  # cursor position is re-established by the next CUP
+
+    @staticmethod
+    def _is_erase_cell(cell: Cell) -> bool:
+        return (
+            cell.contents == ""
+            and cell.width == 1
+            and cell.renditions
+            == DEFAULT_RENDITIONS.with_attr(
+                background=cell.renditions.background
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # Modes, cursor, title
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _emit_modes(
+        out: bytearray, old: Framebuffer | None, new: Framebuffer
+    ) -> None:
+        def changed(attr: str) -> bool:
+            return old is None or getattr(old, attr) != getattr(new, attr)
+
+        if changed("reverse_video"):
+            out += b"\x1b[?5h" if new.reverse_video else b"\x1b[?5l"
+        if changed("application_cursor_keys"):
+            out += b"\x1b[?1h" if new.application_cursor_keys else b"\x1b[?1l"
+        if changed("application_keypad"):
+            out += b"\x1b=" if new.application_keypad else b"\x1b>"
+        if changed("bracketed_paste"):
+            out += b"\x1b[?2004h" if new.bracketed_paste else b"\x1b[?2004l"
+        old_mouse = old.mouse_modes if old is not None else frozenset()
+        for mode in sorted(old_mouse - new.mouse_modes):
+            out += f"\x1b[?{mode}l".encode("ascii")
+        for mode in sorted(new.mouse_modes - old_mouse):
+            out += f"\x1b[?{mode}h".encode("ascii")
+        if changed("window_title") or changed("icon_title"):
+            if new.window_title == new.icon_title:
+                out += b"\x1b]0;" + new.window_title.encode("utf-8") + b"\x07"
+            else:
+                out += b"\x1b]1;" + new.icon_title.encode("utf-8") + b"\x07"
+                out += b"\x1b]2;" + new.window_title.encode("utf-8") + b"\x07"
+
+    @staticmethod
+    def _finish(
+        out: bytearray,
+        new: Framebuffer,
+        pen_state: list[Renditions | None],
+    ) -> None:
+        out += Display._cup(new.cursor_row, new.cursor_col)
+        out += b"\x1b[?25h" if new.cursor_visible else b"\x1b[?25l"
+
+    @staticmethod
+    def _cup(row: int, col: int) -> bytes:
+        return f"\x1b[{row + 1};{col + 1}H".encode("ascii")
+
+    @staticmethod
+    def _set_pen(
+        out: bytearray,
+        pen_state: list[Renditions | None],
+        renditions: Renditions,
+    ) -> None:
+        if pen_state[0] != renditions:
+            out += renditions.sgr()
+            pen_state[0] = renditions

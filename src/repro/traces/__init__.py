@@ -1,0 +1,26 @@
+"""Keystroke traces and the replay harness (§4).
+
+The paper's evaluation replayed 40 hours of real user traces (9,986
+keystrokes from six users) over live networks. Here the traces are
+synthesized from the application models in :mod:`repro.apps` — six
+personas matching the paper's reported workload mix — and replayed over
+the deterministic simulator against both Mosh and the SSH baseline.
+"""
+
+from repro.traces.generate import generate_all_personas, generate_persona
+from repro.traces.model import Trace, TraceStep
+from repro.traces.replay import (
+    ReplayResult,
+    replay_mosh,
+    replay_ssh,
+)
+
+__all__ = [
+    "ReplayResult",
+    "Trace",
+    "TraceStep",
+    "generate_all_personas",
+    "generate_persona",
+    "replay_mosh",
+    "replay_ssh",
+]

@@ -1,0 +1,99 @@
+"""Trace capture: record a live session into a replayable trace.
+
+The paper's traces "included the timing and contents of all writes from
+the user to a remote host and vice versa" (§4). This recorder produces the
+same artifact from a live (simulated or scripted) session: every keystroke
+becomes a step, and every host write that follows it — until the next
+keystroke — becomes that step's prerecorded response.
+"""
+
+from __future__ import annotations
+
+from repro.apps.base import Write
+from repro.errors import TraceError
+from repro.traces.model import Trace, TraceStep
+
+
+class TraceRecorder:
+    """Builds a :class:`Trace` from interleaved key/write events.
+
+    Feed events in wall order via :meth:`key` and :meth:`host_write`;
+    call :meth:`finish` for the trace. Host writes before the first
+    keystroke become the trace's startup output.
+    """
+
+    def __init__(self, name: str, width: int = 80, height: int = 24) -> None:
+        self._name = name
+        self._width = width
+        self._height = height
+        self._startup: list[Write] = []
+        self._steps: list[tuple[float, bytes, list[Write]]] = []
+        self._last_key_time: float | None = None
+        self._session_start: float | None = None
+        self._finished = False
+
+    def _check_open(self) -> None:
+        if self._finished:
+            raise TraceError("recorder already finished")
+
+    def key(self, now: float, keys: bytes) -> None:
+        """The user pressed a key (sequence) at time ``now``."""
+        self._check_open()
+        if not keys:
+            raise TraceError("empty keystroke")
+        if self._session_start is None:
+            self._session_start = now
+        if self._last_key_time is None:
+            think = now - self._session_start
+        else:
+            think = now - self._last_key_time
+        if think < 0:
+            raise TraceError(f"keystroke out of order at t={now}")
+        self._steps.append((think, keys, []))
+        self._last_key_time = now
+
+    def host_write(self, now: float, data: bytes) -> None:
+        """The host wrote to the terminal at time ``now``."""
+        self._check_open()
+        if not data:
+            return
+        if self._session_start is None:
+            self._session_start = now
+        if not self._steps:
+            self._startup.append(Write(now - self._session_start, data))
+            return
+        delay = now - self._last_key_time
+        if delay < 0:
+            raise TraceError(f"host write out of order at t={now}")
+        self._steps[-1][2].append(Write(delay, data))
+
+    def finish(self) -> Trace:
+        self._check_open()
+        self._finished = True
+        return Trace(
+            name=self._name,
+            width=self._width,
+            height=self._height,
+            startup=tuple(self._startup),
+            steps=[
+                TraceStep(think_ms=think, keys=keys, outputs=tuple(outputs))
+                for think, keys, outputs in self._steps
+            ],
+        )
+
+
+def capture_live_app(app, keys_with_times, name="captured", width=80, height=24):
+    """Record a scripted :class:`~repro.apps.base.HostApp` interaction.
+
+    ``keys_with_times`` is an iterable of (time_ms, key_bytes); the app's
+    responses are timestamped by their declared write delays, exactly as a
+    pty capture would see them.
+    """
+    recorder = TraceRecorder(name, width, height)
+    for write in app.startup():
+        recorder.host_write(write.delay_ms, write.data)
+    for now, keys in keys_with_times:
+        recorder.key(now, keys)
+        for write in app.handle_input(keys):
+            recorder.host_write(now + write.delay_ms, write.data)
+    return recorder.finish()

@@ -1,0 +1,97 @@
+"""Command-line trace tooling.
+
+* ``repro-trace-tool generate DIR`` — write the six-persona corpus.
+* ``repro-trace-tool info FILE...`` — summarize traces.
+* ``repro-trace-tool replay FILE --profile evdo`` — replay one trace over
+  Mosh and SSH in the simulator and print the latency comparison.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.simnet import (
+    evdo_profile,
+    lossy_profile,
+    lte_bufferbloat_profile,
+    transoceanic_profile,
+)
+from repro.traces.generate import generate_all_personas
+from repro.traces.persist import load_trace, save_corpus
+from repro.traces.replay import replay_mosh, replay_ssh
+
+PROFILES = {
+    "evdo": evdo_profile,
+    "lte": lte_bufferbloat_profile,
+    "transoceanic": transoceanic_profile,
+    "lossy": lossy_profile,
+}
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    traces = generate_all_personas(seed=args.seed, scale=args.scale)
+    paths = save_corpus(traces, args.directory)
+    total = sum(t.keystroke_count for t in traces)
+    for path, trace in zip(paths, traces):
+        print(f"  {path}  ({trace.keystroke_count} keystrokes)")
+    print(f"wrote {len(paths)} traces, {total} keystrokes total")
+    return 0
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    print(f"{'trace':<22s}{'keys':>7s}{'typing':>8s}{'duration':>10s}")
+    for path in args.files:
+        trace = load_trace(path)
+        print(
+            f"{trace.name:<22s}{trace.keystroke_count:>7d}"
+            f"{trace.typing_fraction * 100:>7.0f}%"
+            f"{trace.duration_ms() / 1000:>9.1f}s"
+        )
+    return 0
+
+
+def _cmd_replay(args: argparse.Namespace) -> int:
+    trace = load_trace(args.file)
+    uplink, downlink = PROFILES[args.profile]()
+    print(f"replaying {trace.name!r} ({trace.keystroke_count} keystrokes) "
+          f"over the {args.profile} profile ...")
+    mosh, _ = replay_mosh(trace, uplink, downlink, seed=args.seed)
+    ssh, _ = replay_ssh(trace, uplink, downlink, seed=args.seed)
+    print(mosh.summary().row("Mosh"))
+    print(ssh.summary().row("SSH"))
+    print(
+        f"Mosh displayed {mosh.instant_fraction * 100:.1f}% of keystrokes "
+        f"instantly; {mosh.mispredictions} visible mispredictions"
+    )
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-trace-tool", description="keystroke trace utilities"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("generate", help="write the persona corpus")
+    gen.add_argument("directory")
+    gen.add_argument("--seed", type=int, default=1)
+    gen.add_argument("--scale", type=float, default=1.0)
+    gen.set_defaults(func=_cmd_generate)
+
+    info = sub.add_parser("info", help="summarize trace files")
+    info.add_argument("files", nargs="+")
+    info.set_defaults(func=_cmd_info)
+
+    replay = sub.add_parser("replay", help="replay a trace over Mosh and SSH")
+    replay.add_argument("file")
+    replay.add_argument("--profile", choices=sorted(PROFILES), default="evdo")
+    replay.add_argument("--seed", type=int, default=1)
+    replay.set_defaults(func=_cmd_replay)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

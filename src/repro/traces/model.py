@@ -1,0 +1,108 @@
+"""Trace format.
+
+A trace is what the paper's capture tool recorded: "the timing and contents
+of all writes from the user to a remote host and vice versa". Each step is
+one user key (possibly a multi-byte sequence) with its think time, plus the
+prerecorded host response as a list of timed writes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.apps.base import Write
+from repro.errors import TraceError
+
+
+@dataclass(frozen=True)
+class TraceStep:
+    """One keystroke and the host's prerecorded response."""
+
+    #: Pause before this keystroke, relative to the previous one (ms).
+    think_ms: float
+    #: The key's byte sequence (1 byte for ordinary keys, 3 for arrows).
+    keys: bytes
+    #: Host writes, delays relative to the keystroke reaching the host.
+    outputs: tuple[Write, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.keys:
+            raise TraceError("TraceStep must have at least one key byte")
+        if self.think_ms < 0:
+            raise TraceError(f"negative think time {self.think_ms}")
+
+    @property
+    def is_typing(self) -> bool:
+        """Echoable 'typing': printable characters and backspace (§3.2)."""
+        return len(self.keys) == 1 and (
+            0x20 <= self.keys[0] <= 0x7E or self.keys[0] in (0x7F, 0x08)
+        )
+
+
+@dataclass
+class Trace:
+    """A user session: startup output plus a sequence of steps."""
+
+    name: str
+    width: int = 80
+    height: int = 24
+    startup: tuple[Write, ...] = ()
+    steps: list[TraceStep] = field(default_factory=list)
+
+    @property
+    def keystroke_count(self) -> int:
+        return len(self.steps)
+
+    @property
+    def typing_fraction(self) -> float:
+        if not self.steps:
+            return 0.0
+        return sum(1 for s in self.steps if s.is_typing) / len(self.steps)
+
+    def duration_ms(self) -> float:
+        return sum(step.think_ms for step in self.steps)
+
+    def dilated(self, factor: float) -> "Trace":
+        """A copy with think times stretched by ``factor``.
+
+        The paper's real traces average one keystroke per several seconds
+        (40 hours / 9,986 keystrokes); the synthetic personas type far
+        more densely. Experiments where queueing delays compete with
+        think time (LTE bufferbloat, the Figure 3 sweep) dilate the traces
+        back to a realistic keystroke density.
+        """
+        if factor <= 0:
+            raise TraceError(f"dilation factor must be positive: {factor}")
+        return Trace(
+            name=self.name,
+            width=self.width,
+            height=self.height,
+            startup=self.startup,
+            steps=[
+                TraceStep(s.think_ms * factor, s.keys, s.outputs)
+                for s in self.steps
+            ],
+        )
+
+    def concat(self, other: "Trace") -> "Trace":
+        """This trace followed by another (a user switching programs)."""
+        merged = Trace(
+            name=f"{self.name}+{other.name}",
+            width=self.width,
+            height=self.height,
+            startup=self.startup,
+            steps=list(self.steps),
+        )
+        if other.startup:
+            # The second app's startup becomes the response to the first
+            # keystroke of the second segment... unless it has none; model
+            # the program launch as an extra ENTER step carrying it.
+            merged.steps.append(
+                TraceStep(
+                    think_ms=1500.0,
+                    keys=b"\r",
+                    outputs=other.startup,
+                )
+            )
+        merged.steps.extend(other.steps)
+        return merged

@@ -1,0 +1,112 @@
+"""Trace serialization.
+
+The paper's capture tool wrote session traces to files for later replay;
+this module does the same for the synthetic corpus, so an experiment can
+be re-run against the *identical* byte-for-byte workload (or a user's own
+captured trace can be dropped in).
+
+Format: JSON with base64-encoded byte fields — stable, diffable, and
+independent of Python pickling.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.apps.base import Write
+from repro.errors import TraceError
+from repro.traces.model import Trace, TraceStep
+
+FORMAT_VERSION = 1
+
+
+def _b64(data: bytes) -> str:
+    return base64.b64encode(data).decode("ascii")
+
+
+def _unb64(text: str) -> bytes:
+    return base64.b64decode(text.encode("ascii"))
+
+
+def trace_to_dict(trace: Trace) -> dict[str, Any]:
+    return {
+        "format": FORMAT_VERSION,
+        "name": trace.name,
+        "width": trace.width,
+        "height": trace.height,
+        "startup": [
+            {"delay_ms": w.delay_ms, "data": _b64(w.data)} for w in trace.startup
+        ],
+        "steps": [
+            {
+                "think_ms": step.think_ms,
+                "keys": _b64(step.keys),
+                "outputs": [
+                    {"delay_ms": w.delay_ms, "data": _b64(w.data)}
+                    for w in step.outputs
+                ],
+            }
+            for step in trace.steps
+        ],
+    }
+
+
+def trace_from_dict(raw: dict[str, Any]) -> Trace:
+    try:
+        if raw.get("format") != FORMAT_VERSION:
+            raise TraceError(f"unsupported trace format {raw.get('format')!r}")
+        return Trace(
+            name=raw["name"],
+            width=raw["width"],
+            height=raw["height"],
+            startup=tuple(
+                Write(w["delay_ms"], _unb64(w["data"])) for w in raw["startup"]
+            ),
+            steps=[
+                TraceStep(
+                    think_ms=step["think_ms"],
+                    keys=_unb64(step["keys"]),
+                    outputs=tuple(
+                        Write(w["delay_ms"], _unb64(w["data"]))
+                        for w in step["outputs"]
+                    ),
+                )
+                for step in raw["steps"]
+            ],
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise TraceError(f"malformed trace file: {exc}") from exc
+
+
+def save_trace(trace: Trace, path: str | Path) -> None:
+    Path(path).write_text(json.dumps(trace_to_dict(trace), indent=1))
+
+
+def load_trace(path: str | Path) -> Trace:
+    try:
+        raw = json.loads(Path(path).read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise TraceError(f"cannot read trace {path}: {exc}") from exc
+    return trace_from_dict(raw)
+
+
+def save_corpus(traces: list[Trace], directory: str | Path) -> list[Path]:
+    """Write one file per trace; returns the paths."""
+    out_dir = Path(directory)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    paths = []
+    for trace in traces:
+        path = out_dir / f"{trace.name}.trace.json"
+        save_trace(trace, path)
+        paths.append(path)
+    return paths
+
+
+def load_corpus(directory: str | Path) -> list[Trace]:
+    paths = sorted(Path(directory).glob("*.trace.json"))
+    if not paths:
+        raise TraceError(f"no *.trace.json files in {directory}")
+    return [load_trace(p) for p in paths]

@@ -1,0 +1,140 @@
+"""Fragmentation of instructions into MTU-sized datagrams.
+
+An instruction can exceed the path MTU (a full screen repaint, a burst of
+typed input). Like Mosh, the fragmenter zlib-compresses the encoded
+instruction — screen diffs are highly repetitive ANSI text — and splits
+the result into numbered fragments under a shared instruction id. The
+assembler rebuilds and decompresses, and discards partial older
+instructions as soon as a fragment of a newer one arrives — there is no
+point completing a superseded frame, because a newer diff always
+fast-forwards past it.
+
+Fragment wire layout::
+
+    8 bytes   instruction id
+    2 bytes   fragment number (15 bits) | final flag (top bit)
+    N bytes   payload (zlib stream of the encoded instruction)
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from dataclasses import dataclass
+
+from repro.errors import FragmentError
+
+_HEADER = struct.Struct("!QH")
+_FINAL_FLAG = 0x8000
+_FRAG_MASK = 0x7FFF
+
+
+@dataclass(frozen=True)
+class Fragment:
+    instruction_id: int
+    fragment_num: int
+    final: bool
+    payload: bytes
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.fragment_num <= _FRAG_MASK:
+            raise FragmentError(f"fragment number {self.fragment_num} too big")
+        if not 0 <= self.instruction_id < 1 << 64:
+            raise FragmentError(f"instruction id {self.instruction_id} out of range")
+
+    def encode(self) -> bytes:
+        word = self.fragment_num | (_FINAL_FLAG if self.final else 0)
+        return _HEADER.pack(self.instruction_id, word) + self.payload
+
+    @classmethod
+    def decode(cls, data: bytes) -> "Fragment":
+        if len(data) < _HEADER.size:
+            raise FragmentError(f"fragment too short: {len(data)} bytes")
+        instruction_id, word = _HEADER.unpack_from(data)
+        return cls(
+            instruction_id=instruction_id,
+            fragment_num=word & _FRAG_MASK,
+            final=bool(word & _FINAL_FLAG),
+            payload=data[_HEADER.size :],
+        )
+
+
+#: Bytes of each datagram consumed by the fragment header.
+OVERHEAD = _HEADER.size
+
+
+class Fragmenter:
+    """Splits encoded instructions, assigning monotonic instruction ids."""
+
+    def __init__(self) -> None:
+        self._next_id = 0
+        self._last_encoded: bytes | None = None
+        self._last_fragments: list[Fragment] | None = None
+
+    def make_fragments(self, encoded: bytes, mtu: int) -> list[Fragment]:
+        """Compress and split ``encoded`` into fragments of <= ``mtu``."""
+        chunk = mtu - OVERHEAD
+        if chunk <= 0:
+            raise FragmentError(f"MTU {mtu} cannot fit the fragment header")
+        if encoded == self._last_encoded and self._last_fragments is not None:
+            # Retransmission of the identical instruction reuses its id, so
+            # the assembler can merge fragments across the two sendings.
+            return self._last_fragments
+        compressed = zlib.compress(encoded, 6)
+        instruction_id = self._next_id
+        self._next_id += 1
+        fragments: list[Fragment] = []
+        offset = 0
+        num = 0
+        while True:
+            payload = compressed[offset : offset + chunk]
+            offset += chunk
+            final = offset >= len(compressed)
+            fragments.append(
+                Fragment(
+                    instruction_id=instruction_id,
+                    fragment_num=num,
+                    final=final,
+                    payload=payload,
+                )
+            )
+            num += 1
+            if final:
+                break
+        self._last_encoded = encoded
+        self._last_fragments = fragments
+        return fragments
+
+
+class FragmentAssembly:
+    """Rebuilds instructions from fragments of the newest instruction id."""
+
+    def __init__(self) -> None:
+        self._current_id: int | None = None
+        self._pieces: dict[int, Fragment] = {}
+        self._total: int | None = None
+
+    def add_fragment(self, fragment: Fragment) -> bytes | None:
+        """Add one fragment; returns the encoded instruction when complete."""
+        if self._current_id is None or fragment.instruction_id > self._current_id:
+            self._current_id = fragment.instruction_id
+            self._pieces = {}
+            self._total = None
+        elif fragment.instruction_id < self._current_id:
+            return None  # stale instruction; a newer one is in progress
+        self._pieces[fragment.fragment_num] = fragment
+        if fragment.final:
+            self._total = fragment.fragment_num + 1
+        if self._total is None or len(self._pieces) < self._total:
+            return None
+        if set(self._pieces) != set(range(self._total)):
+            return None  # duplicate fragments counted; wait for the rest
+        compressed = b"".join(
+            self._pieces[i].payload for i in range(self._total)
+        )
+        self._pieces = {}
+        self._total = None
+        try:
+            return zlib.decompress(compressed)
+        except zlib.error as exc:
+            raise FragmentError(f"corrupt instruction stream: {exc}") from exc

@@ -1,0 +1,76 @@
+"""Instruction: the transport layer's self-contained message.
+
+"The transport sender updates the receiver to the current state of the
+object by sending an Instruction: a self-contained message listing the
+source and target states and the binary 'diff' between them" (§2.3).
+
+Mosh serializes instructions with protocol buffers; this reproduction uses
+an equivalent fixed-layout encoding (documented substitution — the field
+*values*, not the envelope, carry the protocol semantics):
+
+    1 byte    protocol version
+    8 bytes   old_num       (source state)
+    8 bytes   new_num       (target state)
+    8 bytes   ack_num       (newest state of the peer we have received)
+    8 bytes   throwaway_num (peer may discard its copies of states < this)
+    N bytes   diff
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from repro.errors import TransportError
+
+PROTOCOL_VERSION = 2
+
+_HEADER = struct.Struct("!BQQQQ")
+
+
+@dataclass(frozen=True)
+class Instruction:
+    old_num: int
+    new_num: int
+    ack_num: int
+    throwaway_num: int
+    diff: bytes
+    protocol_version: int = PROTOCOL_VERSION
+
+    def __post_init__(self) -> None:
+        for name in ("old_num", "new_num", "ack_num", "throwaway_num"):
+            value = getattr(self, name)
+            if not 0 <= value < 1 << 64:
+                raise TransportError(f"{name}={value} out of range")
+
+    @property
+    def is_heartbeat(self) -> bool:
+        """True when this instruction carries no state change."""
+        return self.old_num == self.new_num and not self.diff
+
+    def encode(self) -> bytes:
+        return (
+            _HEADER.pack(
+                self.protocol_version,
+                self.old_num,
+                self.new_num,
+                self.ack_num,
+                self.throwaway_num,
+            )
+            + self.diff
+        )
+
+    @classmethod
+    def decode(cls, data: bytes) -> "Instruction":
+        if len(data) < _HEADER.size:
+            raise TransportError(f"instruction too short: {len(data)} bytes")
+        version, old, new, ack, throwaway = _HEADER.unpack_from(data)
+        if version != PROTOCOL_VERSION:
+            raise TransportError(f"protocol version mismatch: {version}")
+        return cls(
+            old_num=old,
+            new_num=new,
+            ack_num=ack,
+            throwaway_num=throwaway,
+            diff=data[_HEADER.size :],
+        )

@@ -1,0 +1,286 @@
+"""Transport sender: state list, pacing, retransmission, ACKs, heartbeats.
+
+This is a faithful port of Mosh's sender behaviour (§2.3):
+
+* **Frame rate.** A new frame waits at least ``send_interval`` (SRTT/2
+  clamped to [20 ms, 250 ms]) after the previous frame, so about one
+  instruction is in flight at any time and network buffers never fill.
+* **Collection interval.** A frame also waits at least 8 ms after the
+  *first* unsent change, collecting writes that clump together.
+* **Assumed receiver state.** The sender optimistically assumes the
+  receiver holds the newest state sent less than RTO + ACK_DELAY ago, and
+  diffs against that. If an acknowledgment fails to arrive in time the
+  assumption slides back to an older (acknowledged) state, which makes the
+  next frame a retransmission-by-diff — idempotent and self-healing.
+* **Delayed ACKs.** Acks wait up to 100 ms for host data to piggyback on;
+  an empty ack is sent only if none shows up.
+* **Heartbeats.** An empty instruction goes out every 3 s to keep NAT
+  bindings alive, detect roaming, and let the peer warn the user.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generic, TypeVar
+
+from repro.network.interface import DatagramEndpoint
+from repro.transport.fragment import Fragmenter
+from repro.transport.instruction import Instruction
+from repro.transport.state import StateObject
+from repro.transport.timing import SenderTiming
+
+S = TypeVar("S", bound=StateObject)
+
+#: Bound on the sent-state list; the middle is culled first because the
+#: front anchors acknowledged history and the tail anchors fresh frames.
+_MAX_SENT_STATES = 32
+
+
+@dataclass
+class SentState(Generic[S]):
+    num: int
+    state: S
+    timestamp: float
+
+
+class TransportSender(Generic[S]):
+    """Synchronizes one local state object toward the remote receiver."""
+
+    def __init__(
+        self,
+        endpoint: DatagramEndpoint,
+        initial_state: S,
+        timing: SenderTiming | None = None,
+    ) -> None:
+        self._endpoint = endpoint
+        self.timing = timing or SenderTiming()
+        self._current_state: S = initial_state
+        self._sent_states: list[SentState[S]] = [
+            SentState(num=0, state=initial_state.copy(), timestamp=-1e12)
+        ]
+        self._assumed_idx = 0
+        self._fragmenter = Fragmenter()
+        self._ack_num = 0
+        self._pending_data_ack = False
+        self._pending_ack_since: float | None = None
+        self._next_ack_time = 0.0
+        self._mindelay_clock: float | None = None
+        self._last_heard = -1e12
+        self._shutdown = False
+
+        # Instrumentation (read by the experiment harness).
+        self.instructions_sent = 0
+        self.empty_acks_sent = 0
+        self.piggybacked_acks = 0
+        self.standalone_acks = 0  # data acks that found no host data to ride
+        self.datagrams_sent = 0
+        self.send_log: list[tuple[float, int, int]] = []  # (time, num, diff len)
+        self.record_send_log = False
+
+    # ------------------------------------------------------------------
+    # Application interface
+    # ------------------------------------------------------------------
+
+    @property
+    def state(self) -> S:
+        """The live local state; mutate it, then call ``tick``."""
+        return self._current_state
+
+    def set_ack_num(self, num: int) -> None:
+        """Record the newest peer state, to acknowledge on the next send."""
+        self._ack_num = num
+
+    def set_data_ack(self, now: float) -> None:
+        """Note that the peer sent data we must acknowledge within
+        ``ack_delay``; the ack rides the next instruction if possible."""
+        if not self._pending_data_ack:
+            self._pending_data_ack = True
+            self._pending_ack_since = now
+        self._next_ack_time = min(
+            self._next_ack_time, now + self.timing.ack_delay_ms
+        )
+
+    def remote_heard(self, now: float) -> None:
+        """Note that an authentic instruction arrived from the peer."""
+        self._last_heard = now
+
+    def process_acknowledgment_through(self, ack_num: int, now: float) -> None:
+        """Peer has state ``ack_num``: discard older sent states."""
+        if any(s.num == ack_num for s in self._sent_states):
+            self._sent_states = [
+                s for s in self._sent_states if s.num >= ack_num
+            ]
+        self._rationalize_states()
+
+    def _rationalize_states(self) -> None:
+        """Prune history the receiver is known to share (``subtract``)."""
+        known = self._sent_states[0].state
+        self._current_state.subtract(known)
+        for sent in reversed(self._sent_states):
+            sent.state.subtract(known)
+
+    # ------------------------------------------------------------------
+    # State comparison
+    # ------------------------------------------------------------------
+
+    def _same_state(self, a: StateObject, b: StateObject) -> bool:
+        fa, fb = a.fingerprint(), b.fingerprint()
+        if fa is not None and fb is not None and fa == fb:
+            return True
+        return a == b
+
+    def _update_assumed_receiver_state(self, now: float) -> None:
+        """Assume receipt of every state younger than RTO + ACK_DELAY."""
+        horizon = self._endpoint.rto() + self.timing.ack_delay_ms
+        idx = 0
+        for i in range(1, len(self._sent_states)):
+            if now - self._sent_states[i].timestamp < horizon:
+                idx = i
+            else:
+                break
+        self._assumed_idx = idx
+
+    # ------------------------------------------------------------------
+    # Timers
+    # ------------------------------------------------------------------
+
+    def _next_send_time(self, now: float) -> float | None:
+        back = self._sent_states[-1]
+        timing = self.timing
+        interval = timing.send_interval(self._effective_srtt())
+        if not self._same_state(self._current_state, back.state):
+            if self._mindelay_clock is None:
+                self._mindelay_clock = now
+            return max(
+                self._mindelay_clock + timing.send_mindelay_ms,
+                back.timestamp + interval,
+            )
+        assumed = self._sent_states[self._assumed_idx]
+        retry_alive = self._last_heard + timing.active_retry_timeout_ms > now
+        if not self._same_state(self._current_state, assumed.state) and retry_alive:
+            when = back.timestamp + interval
+            if self._mindelay_clock is not None:
+                when = max(when, self._mindelay_clock + timing.send_mindelay_ms)
+            return when
+        front = self._sent_states[0]
+        if not self._same_state(self._current_state, front.state) and retry_alive:
+            return back.timestamp + timing.heartbeat_interval_ms
+        return None
+
+    def _effective_srtt(self) -> float:
+        # Until the first RTT sample arrives, pace at the minimum interval
+        # rather than the estimator's conservative 1 s prior.
+        if not self._endpoint.has_rtt_sample:
+            return 0.0
+        return self._endpoint.srtt
+
+    def wait_time(self, now: float) -> float | None:
+        """Milliseconds until tick() next needs to run, or None for 'idle'."""
+        if self._endpoint.remote_addr is None:
+            return None
+        self._update_assumed_receiver_state(now)
+        candidates: list[float] = []
+        nst = self._next_send_time(now)
+        if nst is not None:
+            candidates.append(nst)
+        candidates.append(self._next_ack_time)
+        if not candidates:
+            return None
+        return max(0.0, min(candidates) - now)
+
+    # ------------------------------------------------------------------
+    # The main clock tick
+    # ------------------------------------------------------------------
+
+    def tick(self, now: float) -> None:
+        """Send an instruction, ack, or heartbeat if one is due."""
+        if self._endpoint.remote_addr is None:
+            return
+        self._update_assumed_receiver_state(now)
+        nst = self._next_send_time(now)
+        send_due = nst is not None and nst <= now
+        ack_due = self._next_ack_time <= now
+        if not send_due and not ack_due:
+            return
+        assumed = self._sent_states[self._assumed_idx]
+        diff = self._current_state.diff_from(assumed.state)
+        if not diff:
+            # Nothing to convey. This also covers the state-reversion case
+            # (current differs from the newest *sent* state but matches the
+            # assumed receiver state — e.g. the screen changed and changed
+            # back): an empty ack mints a fresh state number whose content
+            # is current, re-aligning the sent-state list so the send timer
+            # stops firing.
+            if ack_due or send_due:
+                self._send_empty_ack(now)
+            return
+        # A pending diff rides out whether the frame timer or the ack
+        # timer fired — the ack piggybacks on host data (§2.3).
+        self._send_to_receiver(diff, now)
+
+    def _send_empty_ack(self, now: float) -> None:
+        back = self._sent_states[-1]
+        old_num = self._sent_states[self._assumed_idx].num
+        new_num = back.num + 1
+        self._add_sent_state(now, new_num)
+        self._send_in_fragments(b"", old_num, new_num, now)
+        self.empty_acks_sent += 1
+        if self._pending_data_ack:
+            self.standalone_acks += 1
+            self._pending_data_ack = False
+            self._pending_ack_since = None
+        self._next_ack_time = now + self.timing.heartbeat_interval_ms
+        self._mindelay_clock = None
+
+    def _send_to_receiver(self, diff: bytes, now: float) -> None:
+        back = self._sent_states[-1]
+        # old_num must match the state the diff was computed against, and
+        # must be captured before _add_sent_state can cull the list.
+        old_num = self._sent_states[self._assumed_idx].num
+        if self._same_state(self._current_state, back.state):
+            # Retransmission of the same logical state: keep its number so
+            # the receiver treats duplicates idempotently.
+            new_num = back.num
+            back.timestamp = now
+        else:
+            new_num = back.num + 1
+            self._add_sent_state(now, new_num)
+        self._send_in_fragments(diff, old_num, new_num, now)
+        if self._pending_data_ack:
+            self.piggybacked_acks += 1
+            self._pending_data_ack = False
+            self._pending_ack_since = None
+        self._assumed_idx = len(self._sent_states) - 1
+        self._next_ack_time = now + self.timing.heartbeat_interval_ms
+        self._mindelay_clock = None
+
+    def _add_sent_state(self, now: float, new_num: int) -> None:
+        self._sent_states.append(
+            SentState(num=new_num, state=self._current_state.copy(), timestamp=now)
+        )
+        if len(self._sent_states) > _MAX_SENT_STATES:
+            # Cull the middle: keep the acknowledged anchor and fresh tail.
+            del self._sent_states[1 : len(self._sent_states) - 16]
+            self._assumed_idx = min(
+                self._assumed_idx, len(self._sent_states) - 1
+            )
+
+    def _send_in_fragments(
+        self, diff: bytes, old_num: int, new_num: int, now: float
+    ) -> None:
+        inst = Instruction(
+            old_num=old_num,
+            new_num=new_num,
+            ack_num=self._ack_num,
+            throwaway_num=self._sent_states[0].num,
+            diff=diff,
+        )
+        fragments = self._fragmenter.make_fragments(
+            inst.encode(), self._endpoint.mtu
+        )
+        for fragment in fragments:
+            self._endpoint.send(fragment.encode(), now)
+            self.datagrams_sent += 1
+        self.instructions_sent += 1
+        if self.record_send_log:
+            self.send_log.append((now, new_num, len(diff)))

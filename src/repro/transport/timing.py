@@ -1,0 +1,42 @@
+"""Sender timing parameters (§2.3 and Figure 3).
+
+The defaults are the paper's published values:
+
+* frame interval — half the smoothed RTT, clamped to [20 ms, 250 ms]
+  (the 20 ms floor is the 50 Hz cap, "roughly the limit of human
+  perception"; 250 ms is the most SSP will wait between frames);
+* collection interval (``SEND_MINDELAY``) — 8 ms, "chosen as optimal after
+  analyzing application traces" (Figure 3 reproduces that analysis);
+* delayed ACK — 100 ms, which let the ACK piggyback on host data in more
+  than 99.9 % of cases in the paper's experiments;
+* heartbeat — 3 s, compromising between responsiveness of the "connection
+  lost" warning and unnecessary chatter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class SenderTiming:
+    #: Minimum interval between frames: the 50 Hz frame-rate cap (ms).
+    send_interval_min_ms: float = 20.0
+    #: Maximum interval between frames even on very slow paths (ms).
+    send_interval_max_ms: float = 250.0
+    #: Collection interval after the first unsent change (ms).
+    send_mindelay_ms: float = 8.0
+    #: How long an ACK may wait for host data to piggyback on (ms).
+    ack_delay_ms: float = 100.0
+    #: Idle heartbeat interval (ms).
+    heartbeat_interval_ms: float = 3000.0
+    #: Stop retrying an unacknowledged state after this long without any
+    #: word from the peer; heartbeats continue (ms).
+    active_retry_timeout_ms: float = 10_000.0
+
+    def send_interval(self, srtt_ms: float) -> float:
+        """Frame interval for the current smoothed RTT."""
+        return min(
+            self.send_interval_max_ms,
+            max(self.send_interval_min_ms, srtt_ms / 2.0),
+        )

@@ -1,0 +1,106 @@
+"""The Transport facade: one SSP instance over one datagram endpoint.
+
+Mosh runs SSP "in each direction, instantiated on two different kinds of
+objects" (§2): from client to server the object is the history of user
+input; from server to client it is the terminal contents. A single
+:class:`Transport` carries one direction's state outward while receiving
+the opposite direction's state inward — both multiplexed over the same
+datagram endpoint, so acks piggyback naturally.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Generic, TypeVar
+
+from repro.errors import FragmentError, TransportError
+from repro.network.interface import DatagramEndpoint
+from repro.transport.fragment import Fragment, FragmentAssembly
+from repro.transport.instruction import Instruction
+from repro.transport.receiver import TransportReceiver
+from repro.transport.sender import TransportSender
+from repro.transport.state import StateObject
+from repro.transport.timing import SenderTiming
+
+MyState = TypeVar("MyState", bound=StateObject)
+RemoteState = TypeVar("RemoteState", bound=StateObject)
+
+
+class Transport(Generic[MyState, RemoteState]):
+    """Bidirectional SSP endpoint: sends MyState, receives RemoteState."""
+
+    def __init__(
+        self,
+        endpoint: DatagramEndpoint,
+        my_initial_state: MyState,
+        remote_initial_state: RemoteState,
+        timing: SenderTiming | None = None,
+    ) -> None:
+        self._endpoint = endpoint
+        self.sender: TransportSender[MyState] = TransportSender(
+            endpoint, my_initial_state, timing
+        )
+        self.receiver: TransportReceiver[RemoteState] = TransportReceiver(
+            remote_initial_state
+        )
+        self._assembly = FragmentAssembly()
+        #: Called with (now) whenever a new remote state lands.
+        self.on_remote_state: Callable[[float], None] | None = None
+
+    # ------------------------------------------------------------------
+    # State access
+    # ------------------------------------------------------------------
+
+    @property
+    def endpoint(self) -> DatagramEndpoint:
+        return self._endpoint
+
+    @property
+    def local_state(self) -> MyState:
+        """The live outgoing state; mutate then ``tick``."""
+        return self.sender.state
+
+    @property
+    def remote_state(self) -> RemoteState:
+        """The newest state received from the peer."""
+        return self.receiver.latest_state
+
+    @property
+    def remote_state_num(self) -> int:
+        return self.receiver.latest_num
+
+    # ------------------------------------------------------------------
+    # Event loop interface
+    # ------------------------------------------------------------------
+
+    def tick(self, now: float) -> None:
+        """Process arrived datagrams, then let the sender act."""
+        self._receive(now)
+        self.sender.tick(now)
+
+    def wait_time(self, now: float) -> float | None:
+        """Milliseconds until the next timer-driven tick (None = idle)."""
+        return self.sender.wait_time(now)
+
+    def _receive(self, now: float) -> None:
+        for payload in self._endpoint.pop_received():
+            try:
+                fragment = Fragment.decode(payload)
+                encoded = self._assembly.add_fragment(fragment)
+            except FragmentError:
+                continue
+            if encoded is None:
+                continue
+            try:
+                inst = Instruction.decode(encoded)
+            except TransportError:
+                continue
+            self.sender.process_acknowledgment_through(inst.ack_num, now)
+            self.sender.remote_heard(now)
+            created = self.receiver.process_instruction(inst)
+            self.receiver.process_throwaway_until(inst.throwaway_num)
+            if created:
+                self.sender.set_ack_num(self.receiver.latest_num)
+                if inst.diff:
+                    self.sender.set_data_ack(now)
+                if self.on_remote_state is not None:
+                    self.on_remote_state(now)

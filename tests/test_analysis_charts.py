@@ -1,0 +1,57 @@
+"""ASCII chart rendering."""
+
+import pytest
+
+from repro.analysis.charts import ascii_cdf, ascii_curve
+
+
+class TestCdf:
+    def test_renders_axes_and_legend(self):
+        chart = ascii_cdf({"fast": [1.0, 2.0], "slow": [500.0]}, x_max_ms=1000)
+        assert "100% |" in chart
+        assert "0% |" in chart.splitlines()[-4]
+        assert "* fast" in chart
+        assert "o slow" in chart
+
+    def test_fast_series_saturates_early(self):
+        chart = ascii_cdf({"fast": [1.0] * 10}, x_max_ms=1000, width=40)
+        top_row = chart.splitlines()[0]
+        assert "*" in top_row  # reaches 100% immediately
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            ascii_cdf({}, x_max_ms=100)
+
+    def test_dimensions(self):
+        chart = ascii_cdf({"a": [5.0]}, x_max_ms=10, width=30, height=8)
+        body_rows = [l for l in chart.splitlines() if "% |" in l]
+        assert len(body_rows) == 8
+
+
+class TestCurve:
+    POINTS = [(0.1, 70.0), (1.0, 60.0), (8.0, 35.0), (100.0, 90.0)]
+
+    def test_renders_points(self):
+        chart = ascii_curve(self.POINTS)
+        assert chart.count("o") >= 4
+
+    def test_log_axis_label(self):
+        chart = ascii_curve(self.POINTS, log_x=True)
+        assert "(ms, log)" in chart
+
+    def test_y_label(self):
+        chart = ascii_curve(self.POINTS, y_label="delay")
+        assert chart.splitlines()[0].strip() == "delay"
+
+    def test_min_point_at_bottom(self):
+        chart = ascii_curve(self.POINTS, height=10)
+        rows = [l for l in chart.splitlines() if "|" in l]
+        assert "o" in rows[-1]  # the 35 ms minimum sits on the lowest row
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            ascii_curve([])
+
+    def test_flat_series(self):
+        chart = ascii_curve([(1.0, 5.0), (2.0, 5.0)])
+        assert "o" in chart

@@ -1,0 +1,167 @@
+"""Application models: echo behaviour, screen sanity, determinism."""
+
+from random import Random
+
+import pytest
+
+from repro.apps import ChatApp, EditorApp, MailReaderApp, PagerApp, ShellApp
+from repro.terminal.emulator import Emulator
+
+APPS = [ShellApp, EditorApp, MailReaderApp, PagerApp, ChatApp]
+
+
+def play(app, keys: bytes, width=80, height=24) -> Emulator:
+    """Run an app's byte stream through a terminal."""
+    emulator = Emulator(width, height)
+    for write in app.startup():
+        emulator.write(write.data)
+    for byte in keys:
+        for write in app.handle_input(bytes([byte])):
+            emulator.write(write.data)
+    return emulator
+
+
+class TestShell:
+    def test_echoes_printables(self):
+        e = play(ShellApp(Random(1)), b"ls")
+        assert "ls" in e.fb.screen_text()
+
+    def test_prompt_after_enter(self):
+        app = ShellApp(Random(1))
+        e = play(app, b"ls\r")
+        text = e.fb.screen_text()
+        assert text.count("user@remote") >= 2  # initial + after command
+
+    def test_backspace_erases(self):
+        e = play(ShellApp(Random(1)), b"ab\x7f")
+        row = next(
+            r for r in e.fb.screen_text().splitlines() if "user@remote" in r
+        )
+        assert "ab" not in row
+        assert "a" in row
+
+    def test_ctrl_c_aborts_line(self):
+        e = play(ShellApp(Random(1)), b"sleep 99\x03")
+        assert "^C" in e.fb.screen_text()
+
+    def test_writes_clump(self):
+        app = ShellApp(Random(1))
+        writes = app.handle_input(b"\r")
+        delays = [w.delay_ms for w in writes]
+        assert delays == sorted(delays)
+
+
+class TestEditor:
+    def test_insert_mode_echo(self):
+        e = play(EditorApp(Random(1)), b"iabc")
+        assert "abc" in e.fb.row_text(0)
+
+    def test_status_line_shows_mode(self):
+        e = play(EditorApp(Random(1)), b"i")
+        assert "INSERT" in e.fb.row_text(23)
+
+    def test_esc_leaves_insert(self):
+        app = EditorApp(Random(1))
+        e = play(app, b"iab\x1b")
+        assert not app.insert_mode
+        assert "INSERT" not in e.fb.row_text(23)
+
+    def test_navigation_moves_cursor(self):
+        app = EditorApp(Random(1))
+        play(app, b"iab\x1b")
+        before = (app.row, app.col)
+        play_more = app.handle_input(b"j")
+        assert app.row == before[0] + 1 or app.row == before[0]
+
+    def test_uses_alternate_screen(self):
+        e = play(EditorApp(Random(1)), b"")
+        assert e.fb.alternate_screen_active
+
+
+class TestMailReader:
+    def test_index_painted(self):
+        e = play(MailReaderApp(Random(1)), b"")
+        assert "MESSAGE INDEX" in e.fb.screen_text()
+
+    def test_navigation_moves_highlight(self):
+        app = MailReaderApp(Random(1))
+        play(app, b"nn")
+        assert app.selected == 2
+
+    def test_enter_opens_message(self):
+        app = MailReaderApp(Random(1))
+        e = play(app, b"\r")
+        assert app.viewing
+        assert "Message 1 of" in e.fb.screen_text()
+
+    def test_i_returns_to_index(self):
+        app = MailReaderApp(Random(1))
+        e = play(app, b"\ri")
+        assert not app.viewing
+        assert "MESSAGE INDEX" in e.fb.screen_text()
+
+    def test_navigation_does_not_echo(self):
+        """The canonical unpredictable keystroke: 'n' must not print 'n'
+        at the cursor."""
+        app = MailReaderApp(Random(1))
+        e = play(app, b"")
+        r, c = e.fb.cursor_row, e.fb.cursor_col
+        for write in app.handle_input(b"n"):
+            e.write(write.data)
+        assert e.fb.cell_at(r, c).contents != "n"
+
+
+class TestPager:
+    def test_page_fills_screen(self):
+        e = play(PagerApp(Random(1)), b"")
+        assert "--More--" in e.fb.row_text(23)
+        assert e.fb.row_text(0).strip()
+
+    def test_space_advances(self):
+        app = PagerApp(Random(1))
+        e1 = play(app, b"")
+        first = e1.fb.row_text(0)
+        for write in app.handle_input(b" "):
+            e1.write(write.data)
+        assert e1.fb.row_text(0) != first
+
+    def test_scroll_one_line(self):
+        app = PagerApp(Random(1))
+        e = play(app, b"j")
+        assert "--More--" in e.fb.row_text(23)
+
+
+class TestChat:
+    def test_input_line_echo(self):
+        e = play(ChatApp(Random(1)), b"hey")
+        assert "hey" in e.fb.row_text(23)
+
+    def test_enter_posts_message(self):
+        e = play(ChatApp(Random(1)), b"hello\r")
+        assert "<user> hello" in e.fb.screen_text()
+        assert "hello" not in e.fb.row_text(23)  # input line cleared
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("app_cls", APPS)
+    def test_same_seed_same_output(self, app_cls):
+        keys = b"abc\rn j\x1b"
+        a = [
+            (w.delay_ms, w.data)
+            for w in app_cls(Random(7)).handle_input(keys)
+        ]
+        b = [
+            (w.delay_ms, w.data)
+            for w in app_cls(Random(7)).handle_input(keys)
+        ]
+        assert a == b
+
+    @pytest.mark.parametrize("app_cls", APPS)
+    def test_outputs_never_crash_emulator(self, app_cls):
+        app = app_cls(Random(3))
+        emulator = Emulator(80, 24)
+        for write in app.startup():
+            emulator.write(write.data)
+        for byte in b"iqn \r\x7fj\x1bxhello world\r\x03:":
+            for write in app.handle_input(bytes([byte])):
+                emulator.write(write.data)

@@ -1,0 +1,73 @@
+"""The top-like monitor: server-push updates and prediction hygiene."""
+
+from random import Random
+
+from repro.apps.monitor import MonitorApp
+from repro.session import InProcessSession
+from repro.simnet import LinkConfig, evdo_profile
+from repro.terminal.emulator import Emulator
+
+
+class TestMonitorApp:
+    def test_startup_paints_screen(self):
+        app = MonitorApp(Random(1))
+        e = Emulator(80, 24)
+        for write in app.startup():
+            e.write(write.data)
+        assert "load average" in e.fb.screen_text()
+        assert "COMMAND" in e.fb.screen_text()
+
+    def test_refresh_changes_display(self):
+        app = MonitorApp(Random(1))
+        e = Emulator(80, 24)
+        for write in app.startup():
+            e.write(write.data)
+        first = e.fb.row_text(0)
+        for write in app.refresh():
+            e.write(write.data)
+        assert e.fb.row_text(0) != first  # uptime/load ticked
+
+    def test_most_keys_ignored(self):
+        app = MonitorApp(Random(1))
+        assert app.handle_input(b"x") == []
+        assert app.handle_input(b"k") != []
+
+
+class TestServerPush:
+    def _session_with_monitor(self):
+        up, down = evdo_profile()
+        session = InProcessSession(up, down, seed=8)
+        app = MonitorApp(Random(2))
+        app.attach(session)
+        session.connect()
+        return session
+
+    def test_updates_flow_without_input(self):
+        session = self._session_with_monitor()
+        session.loop.run_until(12_000)
+        client_screen = session.client.remote_terminal.fb.screen_text()
+        assert "load average" in client_screen
+        # The display kept refreshing (uptime advances ~every 2 s).
+        assert session.client.remote_terminal.fb == session.server.terminal.fb
+
+    def test_background_updates_do_not_fake_confirm_predictions(self):
+        """Server-push repaints must not accidentally confirm tentative
+        predictions and unleash wrong guesses."""
+        session = self._session_with_monitor()
+        session.loop.run_until(5_000)
+        for i, ch in enumerate(b"xxxx"):  # keys top ignores entirely
+            session.loop.schedule_at(
+                5_000 + i * 400, lambda ch=ch: session.client.type_bytes(bytes([ch]))
+            )
+        session.loop.run_until(20_000)
+        stats = session.client.predictor.stats
+        assert stats.mispredicted == 0, "no visible wrong guesses"
+        assert stats.displayed_immediately == 0, "epoch never falsely confirmed"
+
+    def test_frames_stay_paced_during_push(self):
+        session = self._session_with_monitor()
+        before = session.server_endpoint.datagrams_sent
+        session.loop.run_until(session.loop.now() + 10_000)
+        sent = session.server_endpoint.datagrams_sent - before
+        # 5 refreshes in 10 s, each a handful of frames — never a flood.
+        assert sent < 60

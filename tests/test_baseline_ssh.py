@@ -1,0 +1,88 @@
+"""The SSH baseline model."""
+
+from repro.baseline.ssh import SshSession
+from repro.simnet import LinkConfig, lossy_profile
+
+
+def make_echo_session(delay=50.0, loss=0.0, seed=1) -> SshSession:
+    session = SshSession(
+        LinkConfig(delay_ms=delay, loss=loss),
+        LinkConfig(delay_ms=delay, loss=loss),
+        seed=seed,
+    )
+    session.on_input = session.host_write  # remote echo
+    return session
+
+
+class TestCharacterAtATime:
+    def test_keystroke_echo_round_trip(self):
+        session = make_echo_session()
+        session.type_bytes(b"x")
+        session.run_for(1000.0)
+        assert "x" in session.emulator.fb.row_text(0)
+
+    def test_nothing_displays_locally(self):
+        session = make_echo_session(delay=500.0)
+        flags = session.type_bytes(b"abc")
+        assert flags == [False, False, False]
+        session.run_for(100.0)  # less than the RTT
+        assert session.emulator.fb.screen_text().strip() == ""
+
+    def test_echo_latency_is_rtt(self):
+        session = make_echo_session(delay=150.0)
+        changes = []
+        session.on_display_change = changes.append
+        session.loop.schedule_at(100.0, lambda: session.type_bytes(b"k"))
+        session.run_for(2000.0)
+        assert changes and 280.0 <= changes[0] - 100.0 <= 350.0
+
+
+class TestUnderLoss:
+    def test_reliable_but_slow(self):
+        session = make_echo_session(delay=50.0, loss=0.29, seed=7)
+        changes = []
+        session.on_display_change = changes.append
+        for i in range(20):
+            session.loop.schedule_at(
+                1000.0 + i * 1000, lambda i=i: session.type_bytes(bytes([65 + i]))
+            )
+        session.run_for(200_000.0)
+        text = session.emulator.fb.screen_text()
+        for i in range(20):
+            assert chr(65 + i) in text  # every keystroke eventually echoed
+
+    def test_backoff_creates_long_stalls(self):
+        """The pathology the paper measures: multi-second TCP stalls."""
+        session = make_echo_session(delay=50.0, loss=0.40, seed=3)
+        gaps = []
+        last = [0.0]
+
+        def on_change(t):
+            gaps.append(t - last[0])
+            last[0] = t
+
+        session.on_display_change = on_change
+        for i in range(40):
+            session.loop.schedule_at(
+                1000.0 + i * 500, lambda: session.type_bytes(b"z")
+            )
+        session.run_for(300_000.0)
+        assert max(gaps) > 3000.0, "expected at least one backoff stall"
+
+
+class TestSharedNetwork:
+    def test_can_join_existing_network(self):
+        from repro.simnet import EventLoop, SimNetwork
+
+        loop = EventLoop()
+        network = SimNetwork(
+            loop, LinkConfig(delay_ms=10), LinkConfig(delay_ms=10), seed=1
+        )
+        session = SshSession(
+            LinkConfig(), LinkConfig(), network=network
+        )
+        assert session.loop is loop
+        session.on_input = session.host_write
+        session.type_bytes(b"q")
+        loop.run_until(1000.0)
+        assert "q" in session.emulator.fb.row_text(0)

@@ -1,0 +1,68 @@
+"""CLI surface and runnable examples (smoke level)."""
+
+import subprocess
+import sys
+
+import pytest
+
+from repro import cli
+
+
+class TestArgParsing:
+    def test_server_help(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            cli.server_main(["--help"])
+        assert exc.value.code == 0
+        assert "UDP port" in capsys.readouterr().out
+
+    def test_client_help(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            cli.client_main(["--help"])
+        assert exc.value.code == 0
+        assert "base64" in capsys.readouterr().out
+
+    def test_client_requires_args(self):
+        with pytest.raises(SystemExit):
+            cli.client_main([])
+
+
+@pytest.mark.skipif(
+    not sys.platform.startswith("linux"), reason="examples use pty/UDP"
+)
+class TestDemoCommand:
+    def test_demo_runs_a_command(self, capsys):
+        assert cli.demo_main(["--command", "echo demo-ran-ok", "--seconds", "6"]) == 0
+        out = capsys.readouterr().out
+        assert "MOSH CONNECT" in out
+        assert "demo-ran-ok" in out
+
+
+class TestExamples:
+    @pytest.mark.parametrize(
+        "script",
+        [
+            "quickstart.py",
+            "roaming_demo.py",
+            "prediction_demo.py",
+            "monitor_dashboard.py",
+        ],
+    )
+    def test_simulator_examples_run_clean(self, script):
+        result = subprocess.run(
+            [sys.executable, f"examples/{script}"],
+            capture_output=True,
+            text=True,
+            timeout=180,
+            cwd=".",
+        )
+        assert result.returncode == 0, result.stderr
+
+    def test_quickstart_output_mentions_prediction(self):
+        result = subprocess.run(
+            [sys.executable, "examples/quickstart.py"],
+            capture_output=True,
+            text=True,
+            timeout=180,
+        )
+        assert "instant=" in result.stdout
+        assert "client and server agree" in result.stdout

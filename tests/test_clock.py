@@ -1,0 +1,45 @@
+"""Tests for repro.clock."""
+
+import pytest
+
+from repro.clock import RealClock, SimulatedClock
+
+
+class TestSimulatedClock:
+    def test_starts_at_given_time(self):
+        assert SimulatedClock(42.0).now() == 42.0
+
+    def test_advance(self):
+        clock = SimulatedClock()
+        clock.advance(10.0)
+        clock.advance(5.5)
+        assert clock.now() == 15.5
+
+    def test_advance_to(self):
+        clock = SimulatedClock()
+        clock.advance_to(100.0)
+        assert clock.now() == 100.0
+
+    def test_no_time_travel(self):
+        clock = SimulatedClock(50.0)
+        with pytest.raises(ValueError):
+            clock.advance(-1.0)
+        with pytest.raises(ValueError):
+            clock.advance_to(49.0)
+
+    def test_advance_zero_is_ok(self):
+        clock = SimulatedClock(5.0)
+        clock.advance(0.0)
+        clock.advance_to(5.0)
+        assert clock.now() == 5.0
+
+
+class TestRealClock:
+    def test_monotonic_milliseconds(self):
+        clock = RealClock()
+        a = clock.now()
+        b = clock.now()
+        assert b >= a
+        # Sanity: the value is in milliseconds, so a process that has been
+        # alive a few seconds reads far less than one year in ms.
+        assert a < 365 * 24 * 3600 * 1000

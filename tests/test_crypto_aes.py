@@ -1,0 +1,69 @@
+"""AES-128 against FIPS 197 and round-trip properties."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.crypto.aes import AES128, INV_SBOX, SBOX
+from repro.errors import CryptoError
+
+
+class TestSbox:
+    def test_known_entries(self):
+        # FIPS 197 Figure 7.
+        assert SBOX[0x00] == 0x63
+        assert SBOX[0x01] == 0x7C
+        assert SBOX[0x53] == 0xED
+        assert SBOX[0xFF] == 0x16
+
+    def test_inverse_is_inverse(self):
+        for value in range(256):
+            assert INV_SBOX[SBOX[value]] == value
+
+    def test_sbox_is_permutation(self):
+        assert sorted(SBOX) == list(range(256))
+
+
+class TestFips197:
+    def test_appendix_b_vector(self):
+        key = bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c")
+        pt = bytes.fromhex("3243f6a8885a308d313198a2e0370734")
+        expected = bytes.fromhex("3925841d02dc09fbdc118597196a0b32")
+        assert AES128(key).encrypt_block(pt) == expected
+
+    def test_appendix_c_vector(self):
+        key = bytes.fromhex("000102030405060708090a0b0c0d0e0f")
+        pt = bytes.fromhex("00112233445566778899aabbccddeeff")
+        expected = bytes.fromhex("69c4e0d86a7b0430d8cdb78070b4c55a")
+        cipher = AES128(key)
+        assert cipher.encrypt_block(pt) == expected
+        assert cipher.decrypt_block(expected) == pt
+
+
+class TestBlockInterface:
+    def test_bad_key_length(self):
+        with pytest.raises(CryptoError):
+            AES128(b"short")
+
+    def test_bad_block_length(self):
+        cipher = AES128(bytes(16))
+        with pytest.raises(CryptoError):
+            cipher.encrypt_block(b"x" * 15)
+        with pytest.raises(CryptoError):
+            cipher.decrypt_block(b"x" * 17)
+
+    @given(st.binary(min_size=16, max_size=16), st.binary(min_size=16, max_size=16))
+    def test_roundtrip(self, key, block):
+        cipher = AES128(key)
+        assert cipher.decrypt_block(cipher.encrypt_block(block)) == block
+
+    @given(st.binary(min_size=16, max_size=16))
+    def test_encryption_changes_block(self, block):
+        cipher = AES128(b"\x01" * 16)
+        assert cipher.encrypt_block(block) != block  # overwhelmingly likely
+
+    def test_different_keys_different_ciphertexts(self):
+        block = bytes(16)
+        a = AES128(bytes(16)).encrypt_block(block)
+        b = AES128(b"\x01" + bytes(15)).encrypt_block(block)
+        assert a != b

@@ -1,0 +1,143 @@
+"""OCB (RFC 7253) against the published vectors, plus security properties."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.ocb import OCBCipher
+from repro.errors import AuthenticationError, CryptoError
+
+RFC_KEY = bytes.fromhex("000102030405060708090A0B0C0D0E0F")
+
+# (nonce, associated data, plaintext, expected ciphertext||tag)
+RFC_VECTORS = [
+    (
+        "BBAA99887766554433221100",
+        "",
+        "",
+        "785407BFFFC8AD9EDCC5520AC9111EE6",
+    ),
+    (
+        "BBAA99887766554433221101",
+        "0001020304050607",
+        "0001020304050607",
+        "6820B3657B6F615A5725BDA0D3B4EB3A257C9AF1F8F03009",
+    ),
+    (
+        "BBAA99887766554433221102",
+        "0001020304050607",
+        "",
+        "81017F8203F081277152FADE694A0A00",
+    ),
+    (
+        "BBAA99887766554433221103",
+        "",
+        "0001020304050607",
+        "45DD69F8F5AAE72414054CD1F35D82760B2CD00D2F99BFA9",
+    ),
+]
+
+
+class TestRfc7253Vectors:
+    @pytest.mark.parametrize("nonce,ad,pt,expected", RFC_VECTORS)
+    def test_encrypt(self, nonce, ad, pt, expected):
+        cipher = OCBCipher(RFC_KEY)
+        out = cipher.encrypt(
+            bytes.fromhex(nonce), bytes.fromhex(pt), bytes.fromhex(ad)
+        )
+        assert out.hex().upper() == expected
+
+    @pytest.mark.parametrize("nonce,ad,pt,expected", RFC_VECTORS)
+    def test_decrypt(self, nonce, ad, pt, expected):
+        cipher = OCBCipher(RFC_KEY)
+        out = cipher.decrypt(
+            bytes.fromhex(nonce), bytes.fromhex(expected), bytes.fromhex(ad)
+        )
+        assert out == bytes.fromhex(pt)
+
+    def test_rfc_iterative_wide_coverage(self):
+        """RFC 7253 Appendix A iterative test: all lengths 0..127 blocks.
+
+        The expected constant is published in the RFC for AES-128-OCB with
+        a 128-bit tag.
+        """
+        key = bytes(15) + bytes([128])
+        cipher = OCBCipher(key)
+        stream = bytearray()
+        for i in range(128):
+            s = bytes(i)
+            stream += cipher.encrypt((3 * i + 1).to_bytes(12, "big"), s, s)
+            stream += cipher.encrypt((3 * i + 2).to_bytes(12, "big"), s, b"")
+            stream += cipher.encrypt((3 * i + 3).to_bytes(12, "big"), b"", s)
+        out = cipher.encrypt((385).to_bytes(12, "big"), b"", bytes(stream))
+        assert out.hex().upper() == "67E944D23256C5E0B6C61FA22FDF1EA2"
+
+
+class TestAuthenticity:
+    def test_bit_flip_rejected(self):
+        cipher = OCBCipher(RFC_KEY)
+        nonce = b"\x00" * 11 + b"\x01"
+        ct = bytearray(cipher.encrypt(nonce, b"attack at dawn"))
+        for position in range(len(ct)):
+            corrupted = bytearray(ct)
+            corrupted[position] ^= 0x01
+            with pytest.raises(AuthenticationError):
+                cipher.decrypt(nonce, bytes(corrupted))
+
+    def test_wrong_nonce_rejected(self):
+        cipher = OCBCipher(RFC_KEY)
+        ct = cipher.encrypt(b"\x01" * 12, b"hello")
+        with pytest.raises(AuthenticationError):
+            cipher.decrypt(b"\x02" * 12, ct)
+
+    def test_wrong_ad_rejected(self):
+        cipher = OCBCipher(RFC_KEY)
+        ct = cipher.encrypt(b"\x01" * 12, b"hello", b"header-1")
+        with pytest.raises(AuthenticationError):
+            cipher.decrypt(b"\x01" * 12, ct, b"header-2")
+
+    def test_truncated_ciphertext_rejected(self):
+        cipher = OCBCipher(RFC_KEY)
+        with pytest.raises(AuthenticationError):
+            cipher.decrypt(b"\x01" * 12, b"too-short")
+
+    def test_wrong_key_rejected(self):
+        ct = OCBCipher(RFC_KEY).encrypt(b"\x01" * 12, b"hello")
+        other = OCBCipher(bytes(16))
+        with pytest.raises(AuthenticationError):
+            other.decrypt(b"\x01" * 12, ct)
+
+
+class TestNonceValidation:
+    def test_empty_nonce_rejected(self):
+        cipher = OCBCipher(RFC_KEY)
+        with pytest.raises(CryptoError):
+            cipher.encrypt(b"", b"data")
+
+    def test_sixteen_byte_nonce_rejected(self):
+        cipher = OCBCipher(RFC_KEY)
+        with pytest.raises(CryptoError):
+            cipher.encrypt(bytes(16), b"data")
+
+
+class TestRoundTrip:
+    @settings(max_examples=50, deadline=None)
+    @given(
+        key=st.binary(min_size=16, max_size=16),
+        nonce=st.binary(min_size=1, max_size=15),
+        plaintext=st.binary(max_size=200),
+        ad=st.binary(max_size=64),
+    )
+    def test_roundtrip(self, key, nonce, plaintext, ad):
+        cipher = OCBCipher(key)
+        ct = cipher.encrypt(nonce, plaintext, ad)
+        assert len(ct) == len(plaintext) + 16
+        assert cipher.decrypt(nonce, ct, ad) == plaintext
+
+    def test_ciphertext_looks_random(self):
+        cipher = OCBCipher(RFC_KEY)
+        pt = bytes(64)
+        ct = cipher.encrypt(b"\x01" * 12, pt)[:-16]
+        assert ct != pt
+        # distinct blocks of identical plaintext encrypt differently
+        assert ct[0:16] != ct[16:32]

@@ -1,0 +1,142 @@
+"""Keys, nonces, and the session sealing API."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.keys import (
+    DIRECTION_TO_CLIENT,
+    DIRECTION_TO_SERVER,
+    Base64Key,
+    Nonce,
+)
+from repro.crypto.session import MAX_PAYLOAD_LEN, Message, NullSession, Session
+from repro.errors import AuthenticationError, CryptoError
+
+
+class TestBase64Key:
+    def test_printable_is_22_chars(self):
+        key = Base64Key.new()
+        assert len(key.printable()) == 22
+
+    def test_printable_roundtrip(self):
+        key = Base64Key.new()
+        assert Base64Key.from_printable(key.printable()) == key
+
+    def test_new_keys_are_distinct(self):
+        assert Base64Key.new() != Base64Key.new()
+
+    def test_wrong_length_raises(self):
+        with pytest.raises(CryptoError):
+            Base64Key(b"short")
+        with pytest.raises(CryptoError):
+            Base64Key.from_printable("tooshort")
+
+    def test_invalid_base64_raises(self):
+        with pytest.raises(CryptoError):
+            Base64Key.from_printable("!" * 22)
+
+    def test_repr_hides_secret(self):
+        key = Base64Key.new()
+        assert key.printable() not in repr(key)
+
+
+class TestNonce:
+    def test_wire_roundtrip(self):
+        nonce = Nonce(direction=DIRECTION_TO_CLIENT, seq=123456)
+        again = Nonce.from_wire(nonce.wire())
+        assert again == nonce
+
+    def test_direction_bit_is_top_bit(self):
+        assert Nonce(DIRECTION_TO_CLIENT, 0).wire()[0] & 0x80
+        assert not Nonce(DIRECTION_TO_SERVER, 0).wire()[0] & 0x80
+
+    def test_ocb_form_is_12_bytes_zero_padded(self):
+        nonce = Nonce(DIRECTION_TO_SERVER, 7)
+        ocb = nonce.ocb()
+        assert len(ocb) == 12
+        assert ocb[:4] == bytes(4)
+
+    def test_seq_out_of_range(self):
+        with pytest.raises(CryptoError):
+            Nonce(0, 1 << 63)
+        with pytest.raises(CryptoError):
+            Nonce(0, -1)
+
+    def test_bad_direction(self):
+        with pytest.raises(CryptoError):
+            Nonce(2, 0)
+
+    @given(st.integers(0, (1 << 63) - 1), st.integers(0, 1))
+    def test_wire_roundtrip_property(self, seq, direction):
+        nonce = Nonce(direction, seq)
+        assert Nonce.from_wire(nonce.wire()) == nonce
+
+
+class TestSession:
+    def test_roundtrip(self):
+        session = Session(Base64Key.new())
+        message = Message(Nonce(DIRECTION_TO_SERVER, 9), b"keystroke")
+        assert session.decrypt(session.encrypt(message)) == message
+
+    def test_nonce_travels_in_clear(self):
+        session = Session(Base64Key.new())
+        message = Message(Nonce(DIRECTION_TO_CLIENT, 77), b"data")
+        wire = session.encrypt(message)
+        assert Nonce.from_wire(wire[:8]) == message.nonce
+
+    def test_tampering_detected(self):
+        session = Session(Base64Key.new())
+        wire = bytearray(session.encrypt(Message(Nonce(0, 1), b"hello")))
+        wire[-1] ^= 0xFF
+        with pytest.raises(AuthenticationError):
+            session.decrypt(bytes(wire))
+
+    def test_nonce_tampering_detected(self):
+        """Changing the cleartext nonce must break authentication."""
+        session = Session(Base64Key.new())
+        wire = bytearray(session.encrypt(Message(Nonce(0, 1), b"hello")))
+        wire[7] ^= 0x01  # seq 1 -> 0
+        with pytest.raises(AuthenticationError):
+            session.decrypt(bytes(wire))
+
+    def test_cross_key_rejected(self):
+        a = Session(Base64Key.new())
+        b = Session(Base64Key.new())
+        wire = a.encrypt(Message(Nonce(0, 1), b"hello"))
+        with pytest.raises(AuthenticationError):
+            b.decrypt(wire)
+
+    def test_short_datagram_rejected(self):
+        session = Session(Base64Key.new())
+        with pytest.raises(CryptoError):
+            session.decrypt(b"tiny")
+
+    def test_oversized_payload_rejected(self):
+        session = Session(Base64Key.new())
+        big = b"x" * (MAX_PAYLOAD_LEN + 1)
+        with pytest.raises(CryptoError):
+            session.encrypt(Message(Nonce(0, 1), big))
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.binary(max_size=600), st.integers(0, 2**40))
+    def test_roundtrip_property(self, payload, seq):
+        session = Session(Base64Key(bytes(range(16))))
+        message = Message(Nonce(DIRECTION_TO_SERVER, seq), payload)
+        assert session.decrypt(session.encrypt(message)) == message
+
+
+class TestNullSession:
+    def test_roundtrip(self):
+        session = NullSession()
+        message = Message(Nonce(1, 5), b"plaintext")
+        assert session.decrypt(session.encrypt(message)) == message
+
+    def test_wire_size_matches_encrypted_case(self):
+        """Simulations must see realistic datagram sizes."""
+        payload = b"z" * 100
+        null_wire = NullSession().encrypt(Message(Nonce(0, 3), payload))
+        real_wire = Session(Base64Key.new()).encrypt(
+            Message(Nonce(0, 3), payload)
+        )
+        assert len(null_wire) == len(real_wire)

@@ -1,0 +1,165 @@
+"""UserStream: events, diffs, pruning."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import StateError
+from repro.input.events import Resize, UserBytes, decode_events
+from repro.input.userstream import UserStream
+
+
+class TestEvents:
+    def test_userbytes_roundtrip(self):
+        event = UserBytes(b"hello")
+        assert decode_events(event.encode()) == [event]
+
+    def test_resize_roundtrip(self):
+        event = Resize(cols=132, rows=43)
+        assert decode_events(event.encode()) == [event]
+
+    def test_mixed_stream(self):
+        events = [UserBytes(b"a"), Resize(80, 24), UserBytes(b"bc")]
+        blob = b"".join(e.encode() for e in events)
+        assert decode_events(blob) == events
+
+    def test_empty_userbytes_rejected(self):
+        with pytest.raises(StateError):
+            UserBytes(b"")
+
+    def test_bad_resize_rejected(self):
+        with pytest.raises(StateError):
+            Resize(0, 24)
+
+    def test_truncated_decode_rejected(self):
+        blob = UserBytes(b"abcdef").encode()[:-2]
+        with pytest.raises(StateError):
+            decode_events(blob)
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(StateError):
+            decode_events(b"\x63")
+
+
+class TestDiffApply:
+    def test_diff_contains_every_keystroke(self):
+        a = UserStream()
+        b = a.copy()
+        for ch in b"abc":
+            b.push_event(UserBytes(bytes([ch])))
+        diff = b.diff_from(a)
+        a.apply_diff(diff)
+        assert a == b
+
+    def test_diff_from_self_is_empty(self):
+        s = UserStream()
+        s.push_event(UserBytes(b"x"))
+        assert s.diff_from(s) == b""
+
+    def test_diff_from_newer_raises(self):
+        a = UserStream()
+        b = a.copy()
+        b.push_event(UserBytes(b"x"))
+        with pytest.raises(StateError):
+            a.diff_from(b)
+
+    def test_events_since(self):
+        s = UserStream()
+        s.push_event(UserBytes(b"a"))
+        s.push_event(Resize(100, 40))
+        assert s.events_since(0) == [UserBytes(b"a"), Resize(100, 40)]
+        assert s.events_since(1) == [Resize(100, 40)]
+        assert s.events_since(2) == []
+
+
+class TestSubtract:
+    def test_prunes_prefix_but_keeps_count(self):
+        s = UserStream()
+        for ch in b"abcdef":
+            s.push_event(UserBytes(bytes([ch])))
+        prefix = s.copy()
+        prefix._events = prefix._events[:4]
+        s.subtract(prefix)
+        assert s.total_count == 6
+        assert len(s._events) == 2
+
+    def test_diff_after_subtract(self):
+        base = UserStream()
+        for ch in b"abcd":
+            base.push_event(UserBytes(bytes([ch])))
+        snapshot = base.copy()
+        base.push_event(UserBytes(b"e"))
+        base.subtract(snapshot)
+        snapshot.subtract(snapshot)
+        diff = base.diff_from(snapshot)
+        snapshot.apply_diff(diff)
+        assert snapshot == base
+
+    def test_events_before_base_unavailable(self):
+        s = UserStream()
+        s.push_event(UserBytes(b"a"))
+        s.push_event(UserBytes(b"b"))
+        prefix = s.copy()
+        s.subtract(prefix)
+        with pytest.raises(StateError):
+            s.events_since(0)
+
+    def test_subtract_is_idempotent(self):
+        s = UserStream()
+        s.push_event(UserBytes(b"a"))
+        prefix = s.copy()
+        s.subtract(prefix)
+        s.subtract(prefix)
+        assert s.total_count == 1
+
+
+class TestEquality:
+    def test_fingerprint_tracks_count(self):
+        s = UserStream()
+        assert s.fingerprint() == 0
+        s.push_event(UserBytes(b"x"))
+        assert s.fingerprint() == 1
+
+    def test_eq_across_different_bases(self):
+        a = UserStream()
+        for ch in b"abc":
+            a.push_event(UserBytes(bytes([ch])))
+        b = a.copy()
+        prefix = a.copy()
+        prefix._events = prefix._events[:2]
+        a.subtract(prefix)
+        assert a == b
+
+    def test_neq_different_contents(self):
+        a = UserStream()
+        a.push_event(UserBytes(b"x"))
+        b = UserStream()
+        b.push_event(UserBytes(b"y"))
+        assert a != b
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.lists(
+        st.one_of(
+            st.binary(min_size=1, max_size=5).map(UserBytes),
+            st.tuples(st.integers(1, 500), st.integers(1, 200)).map(
+                lambda t: Resize(*t)
+            ),
+        ),
+        max_size=30,
+    ),
+    st.integers(0, 30),
+)
+def test_diff_apply_roundtrip_property(events, split):
+    """The SSP law: apply(copy(a), diff(b, a)) == b, at any split point."""
+    split = min(split, len(events))
+    a = UserStream()
+    for e in events[:split]:
+        a.push_event(e)
+    b = a.copy()
+    for e in events[split:]:
+        b.push_event(e)
+    mirror = a.copy()
+    mirror.apply_diff(b.diff_from(a))
+    assert mirror == b

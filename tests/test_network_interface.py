@@ -1,0 +1,152 @@
+"""Datagram endpoint bookkeeping (direction filter, seq, timestamps)."""
+
+from repro.crypto.keys import Base64Key, Nonce
+from repro.crypto.session import NullSession, Session
+from repro.network.interface import DatagramEndpoint
+from repro.network.packet import Packet, timestamp16
+
+
+class RecordingEndpoint(DatagramEndpoint):
+    def __init__(self, is_server=False, session=None):
+        super().__init__(session or NullSession(), is_server=is_server)
+        self.wire: list[bytes] = []
+        self.set_remote_addr("peer")
+
+    def _transmit(self, raw, now):
+        self.wire.append(raw)
+
+
+def unseal(endpoint, raw):
+    message = NullSession().decrypt(raw)
+    return Packet.from_plaintext(message.nonce, message.text)
+
+
+class TestSending:
+    def test_sequence_numbers_increment(self):
+        ep = RecordingEndpoint()
+        ep.send(b"a", now=0.0)
+        ep.send(b"b", now=1.0)
+        packets = [unseal(ep, raw) for raw in ep.wire]
+        assert [p.seq for p in packets] == [0, 1]
+
+    def test_direction_bit(self):
+        client = RecordingEndpoint(is_server=False)
+        server = RecordingEndpoint(is_server=True)
+        client.send(b"x", now=0.0)
+        server.send(b"x", now=0.0)
+        assert unseal(client, client.wire[0]).direction == 0
+        assert unseal(server, server.wire[0]).direction == 1
+
+    def test_timestamp_attached(self):
+        ep = RecordingEndpoint()
+        ep.send(b"x", now=12345.0)
+        assert unseal(ep, ep.wire[0]).timestamp == timestamp16(12345.0)
+
+
+class TestReceiving:
+    def _datagram(self, seq=0, direction=0, payload=b"p", ts=100, tsr=0xFFFF):
+        packet = Packet(Nonce(direction, seq), ts, tsr, payload)
+        from repro.crypto.session import Message
+
+        return NullSession().encrypt(
+            Message(nonce=packet.nonce, text=packet.to_plaintext())
+        )
+
+    def test_delivers_payload(self):
+        server = RecordingEndpoint(is_server=True)
+        server._handle_datagram(self._datagram(), "addr", now=0.0)
+        assert server.pop_received() == [b"p"]
+
+    def test_wrong_direction_rejected(self):
+        """A reflected packet (our own direction bit) must be dropped."""
+        server = RecordingEndpoint(is_server=True)
+        server._handle_datagram(
+            self._datagram(direction=1), "addr", now=0.0
+        )
+        assert server.pop_received() == []
+
+    def test_garbage_dropped(self):
+        server = RecordingEndpoint(is_server=True)
+        server._handle_datagram(b"\x00" * 5, "addr", now=0.0)
+        server._handle_datagram(b"", "addr", now=0.0)
+        assert server.pop_received() == []
+
+    def test_server_retargets_only_on_newer_seq(self):
+        server = RecordingEndpoint(is_server=True)
+        server._handle_datagram(self._datagram(seq=5), "addr-new", now=0.0)
+        assert server.remote_addr == "addr-new"
+        server._handle_datagram(self._datagram(seq=3), "addr-old", now=1.0)
+        assert server.remote_addr == "addr-new"  # stale seq can't steal
+
+    def test_old_packets_still_delivered(self):
+        """Out-of-order datagrams carry idempotent diffs: deliver them."""
+        server = RecordingEndpoint(is_server=True)
+        server._handle_datagram(self._datagram(seq=5, payload=b"new"), "a", 0.0)
+        server._handle_datagram(self._datagram(seq=3, payload=b"old"), "a", 1.0)
+        assert server.pop_received() == [b"new", b"old"]
+
+    def test_last_heard_updates(self):
+        server = RecordingEndpoint(is_server=True)
+        assert server.last_heard is None
+        server._handle_datagram(self._datagram(), "a", now=77.0)
+        assert server.last_heard == 77.0
+
+    def test_on_datagram_hook(self):
+        server = RecordingEndpoint(is_server=True)
+        calls = []
+        server.on_datagram = calls.append
+        server._handle_datagram(self._datagram(), "a", now=5.0)
+        assert calls == [5.0]
+
+
+class TestRttSampling:
+    def test_timestamp_reply_produces_sample(self):
+        client = RecordingEndpoint(is_server=False)
+        # Peer echoes our timestamp from 80 ms ago.
+        packet = Packet(Nonce(1, 0), 500, timestamp16(1000.0 - 80.0), b"")
+        from repro.crypto.session import Message
+
+        raw = NullSession().encrypt(
+            Message(nonce=packet.nonce, text=packet.to_plaintext())
+        )
+        client._handle_datagram(raw, "a", now=1000.0)
+        assert client.has_rtt_sample
+        assert client.srtt == 80.0
+
+    def test_no_reply_no_sample(self):
+        client = RecordingEndpoint(is_server=False)
+        packet = Packet(Nonce(1, 0), 500, 0xFFFF, b"")
+        from repro.crypto.session import Message
+
+        raw = NullSession().encrypt(
+            Message(nonce=packet.nonce, text=packet.to_plaintext())
+        )
+        client._handle_datagram(raw, "a", now=1000.0)
+        assert not client.has_rtt_sample
+
+
+class TestEncryptedEndToEnd:
+    def test_cross_endpoint_exchange(self):
+        key = Base64Key.new()
+
+        class Pipe(DatagramEndpoint):
+            def __init__(self, is_server, peer_box):
+                super().__init__(Session(key), is_server=is_server)
+                self.peer_box = peer_box
+                self.set_remote_addr("peer")
+
+            def _transmit(self, raw, now):
+                self.peer_box.append(raw)
+
+        to_server: list[bytes] = []
+        to_client: list[bytes] = []
+        client = Pipe(False, to_server)
+        server = Pipe(True, to_client)
+        client.send(b"keystroke", now=0.0)
+        server._handle_datagram(to_server.pop(), "client", now=10.0)
+        assert server.pop_received() == [b"keystroke"]
+        server.send(b"frame", now=20.0)
+        client._handle_datagram(to_client.pop(), "server", now=30.0)
+        assert client.pop_received() == [b"frame"]
+        # The reply carried a hold-adjusted timestamp: 30-0 minus 10 held.
+        assert client.srtt == 20.0

@@ -1,0 +1,68 @@
+"""Packet format and 16-bit timestamp arithmetic."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.crypto.keys import Nonce
+from repro.errors import PacketError
+from repro.network.packet import (
+    TIMESTAMP_NONE,
+    Packet,
+    timestamp16,
+    timestamp_diff,
+)
+
+
+class TestTimestamp16:
+    def test_folds_to_16_bits(self):
+        assert timestamp16(65536.0) == 0
+        assert timestamp16(65537.9) == 1
+
+    def test_diff_simple(self):
+        assert timestamp_diff(100, 40) == 60
+
+    def test_diff_wraps(self):
+        assert timestamp_diff(5, 0xFFFE) == 7
+
+    @given(st.integers(0, 0xFFFF), st.integers(0, 30000))
+    def test_diff_recovers_elapsed(self, start, elapsed):
+        later = (start + elapsed) & 0xFFFF
+        assert timestamp_diff(later, start) == elapsed
+
+
+class TestPacket:
+    def _packet(self, payload=b"data") -> Packet:
+        return Packet(
+            nonce=Nonce(0, 42),
+            timestamp=1234,
+            timestamp_reply=987,
+            payload=payload,
+        )
+
+    def test_roundtrip(self):
+        packet = self._packet()
+        again = Packet.from_plaintext(packet.nonce, packet.to_plaintext())
+        assert again == packet
+
+    def test_empty_payload_roundtrip(self):
+        packet = self._packet(b"")
+        again = Packet.from_plaintext(packet.nonce, packet.to_plaintext())
+        assert again.payload == b""
+
+    def test_seq_and_direction_from_nonce(self):
+        packet = self._packet()
+        assert packet.seq == 42
+        assert packet.direction == 0
+
+    def test_short_body_raises(self):
+        with pytest.raises(PacketError):
+            Packet.from_plaintext(Nonce(0, 1), b"\x00")
+
+    def test_none_timestamp_constant(self):
+        assert TIMESTAMP_NONE == 0xFFFF
+
+    @given(st.binary(max_size=600), st.integers(0, 0xFFFF), st.integers(0, 0xFFFF))
+    def test_roundtrip_property(self, payload, ts, tsr):
+        packet = Packet(Nonce(1, 7), ts, tsr, payload)
+        assert Packet.from_plaintext(packet.nonce, packet.to_plaintext()) == packet

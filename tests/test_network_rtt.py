@@ -1,0 +1,77 @@
+"""RFC 6298 estimator with Mosh's bounds."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.network.rtt import MAX_RTO_MS, MIN_RTO_MS, RttEstimator
+
+
+class TestFirstSample:
+    def test_initializes_srtt_and_var(self):
+        est = RttEstimator()
+        est.observe(200.0)
+        assert est.srtt == 200.0
+        assert est.rttvar == 100.0
+        assert est.have_sample
+
+    def test_before_any_sample(self):
+        est = RttEstimator(initial_srtt_ms=1000.0)
+        assert not est.have_sample
+        assert est.srtt == 1000.0
+
+
+class TestSmoothing:
+    def test_constant_samples_converge(self):
+        est = RttEstimator()
+        for _ in range(100):
+            est.observe(80.0)
+        assert est.srtt == pytest.approx(80.0)
+        assert est.rttvar == pytest.approx(0.0, abs=1.0)
+
+    def test_gains_are_rfc6298(self):
+        est = RttEstimator()
+        est.observe(100.0)
+        est.observe(200.0)
+        # RTTVAR = 0.75*50 + 0.25*|100-200| = 62.5 ; SRTT = 0.875*100+0.125*200
+        assert est.rttvar == pytest.approx(62.5)
+        assert est.srtt == pytest.approx(112.5)
+
+    def test_negative_sample_rejected(self):
+        est = RttEstimator()
+        with pytest.raises(ValueError):
+            est.observe(-1.0)
+
+
+class TestRtoBounds:
+    def test_floor_is_50ms(self):
+        """Mosh change #3: 50 ms floor instead of TCP's one second."""
+        est = RttEstimator()
+        for _ in range(50):
+            est.observe(1.0)
+        assert est.rto() == MIN_RTO_MS == 50.0
+
+    def test_cap_is_1s(self):
+        est = RttEstimator()
+        est.observe(5000.0)
+        assert est.rto() == MAX_RTO_MS == 1000.0
+
+    def test_formula_inside_bounds(self):
+        est = RttEstimator()
+        for _ in range(100):
+            est.observe(100.0)
+        # SRTT + 4*RTTVAR ~= 100 once variance decays
+        assert est.rto() == pytest.approx(100.0, rel=0.1)
+
+    def test_bad_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            RttEstimator(min_rto_ms=0.0)
+        with pytest.raises(ValueError):
+            RttEstimator(min_rto_ms=100.0, max_rto_ms=50.0)
+
+    @given(st.lists(st.floats(0, 10_000), min_size=1, max_size=200))
+    def test_rto_always_within_bounds(self, samples):
+        est = RttEstimator()
+        for s in samples:
+            est.observe(s)
+        assert MIN_RTO_MS <= est.rto() <= MAX_RTO_MS

@@ -1,0 +1,87 @@
+"""The connectivity-warning notification bar."""
+
+from repro.prediction.overlays import WARN_AFTER_MS, NotificationEngine
+from repro.session import InProcessSession
+from repro.simnet import LinkConfig
+from repro.terminal.framebuffer import Framebuffer
+
+
+class TestBarLogic:
+    def test_silent_before_threshold(self):
+        engine = NotificationEngine()
+        engine.server_heard(1000.0)
+        assert engine.bar_text(1000.0 + WARN_AFTER_MS - 1) is None
+
+    def test_warns_after_threshold(self):
+        engine = NotificationEngine()
+        engine.server_heard(1000.0)
+        text = engine.bar_text(1000.0 + 9000.0)
+        assert text is not None
+        assert "Last contact 9 seconds ago" in text
+
+    def test_recovers_on_contact(self):
+        engine = NotificationEngine()
+        engine.server_heard(0.0)
+        assert engine.warning_active(10_000.0)
+        engine.server_heard(10_000.0)
+        assert not engine.warning_active(10_500.0)
+
+    def test_sticky_message_always_shown(self):
+        engine = NotificationEngine()
+        engine.server_heard(0.0)
+        engine.message = "mosh: connecting..."
+        assert engine.bar_text(1.0) == "mosh: connecting..."
+
+    def test_message_merged_into_warning(self):
+        engine = NotificationEngine()
+        engine.server_heard(0.0)
+        engine.message = "note"
+        text = engine.bar_text(20_000.0)
+        assert "note" in text and "Last contact" in text
+
+
+class TestRendering:
+    def test_apply_draws_reverse_bar(self):
+        engine = NotificationEngine()
+        engine.server_heard(0.0)
+        fb = Framebuffer(40, 5)
+        shown = engine.apply(fb, 10_000.0)
+        assert shown is not fb
+        assert "Last contact" in shown.row_text(0)
+        assert shown.cell_at(0, 1).renditions.inverse
+        # The original frame is untouched.
+        assert fb.row_text(0).strip() == ""
+
+    def test_apply_passthrough_when_healthy(self):
+        engine = NotificationEngine()
+        engine.server_heard(0.0)
+        fb = Framebuffer(40, 5)
+        assert engine.apply(fb, 100.0) is fb
+
+
+class TestSessionIntegration:
+    def test_bar_appears_during_partition(self):
+        session = InProcessSession(
+            LinkConfig(delay_ms=20), LinkConfig(delay_ms=20), seed=1
+        )
+        session.connect()
+        assert "Last contact" not in session.client.display().row_text(0)
+        # Partition: the server's packets stop reaching the client (its
+        # heartbeats vanish), so the client must warn within ~2 missed
+        # heartbeat intervals.
+        session.network.downlink.config = LinkConfig(delay_ms=20, loss=0.999999)
+        session.loop.run_until(session.loop.now() + 30_000)
+        assert "Last contact" in session.client.display().row_text(0)
+
+    def test_bar_disappears_after_healing(self):
+        session = InProcessSession(
+            LinkConfig(delay_ms=20), LinkConfig(delay_ms=20), seed=1
+        )
+        session.connect()
+        healthy = LinkConfig(delay_ms=20)
+        session.network.downlink.config = LinkConfig(delay_ms=20, loss=0.999999)
+        session.loop.run_until(session.loop.now() + 20_000)
+        assert "Last contact" in session.client.display().row_text(0)
+        session.network.downlink.config = healthy
+        session.loop.run_until(session.loop.now() + 10_000)
+        assert "Last contact" not in session.client.display().row_text(0)

@@ -1,0 +1,185 @@
+"""End-to-end sessions in the simulator: convergence, roaming, loss,
+interrupts — the paper's headline behaviours."""
+
+import pytest
+
+from repro.crypto.keys import Base64Key
+from repro.input.events import UserBytes
+from repro.session import InProcessSession
+from repro.simnet import LinkConfig, lossy_profile
+from repro.transport.timing import SenderTiming
+
+
+def echo_app(session):
+    """Attach a simple echo shell to the session's server."""
+
+    def on_input(data: bytes) -> None:
+        out = bytearray()
+        for byte in data:
+            out += b"\r\n$ " if byte == 0x0D else bytes([byte])
+        session.loop.schedule(
+            5.0, lambda d=bytes(out): session.server.host_write(d)
+        )
+
+    session.server.on_input = on_input
+
+
+def plain_session(delay=50.0, loss=0.0, seed=1, encrypt=False, **kw):
+    session = InProcessSession(
+        LinkConfig(delay_ms=delay, loss=loss),
+        LinkConfig(delay_ms=delay, loss=loss),
+        seed=seed,
+        encrypt=encrypt,
+        **kw,
+    )
+    echo_app(session)
+    session.server.host_write(b"$ ")
+    session.connect()
+    return session
+
+
+class TestConvergence:
+    def test_screens_converge(self):
+        session = plain_session()
+        for i, ch in enumerate(b"echo test"):
+            session.loop.schedule_at(
+                3000 + i * 100, lambda ch=ch: session.client.type_bytes(bytes([ch]))
+            )
+        session.loop.run_until(10_000)
+        assert session.client.remote_terminal.fb == session.server.terminal.fb
+        assert "echo test" in session.server.terminal.fb.row_text(0)
+
+    def test_converges_with_encryption(self):
+        session = plain_session(encrypt=True)
+        session.loop.schedule_at(3000, lambda: session.client.type_bytes(b"hi"))
+        session.loop.run_until(8000)
+        assert "hi" in session.client.remote_terminal.fb.row_text(0)
+
+    def test_converges_under_heavy_loss(self):
+        up, down = lossy_profile()
+        session = InProcessSession(up, down, seed=5)
+        echo_app(session)
+        session.server.host_write(b"$ ")
+        session.connect()
+        for i, ch in enumerate(b"lossy"):
+            session.loop.schedule_at(
+                3000 + i * 300, lambda ch=ch: session.client.type_bytes(bytes([ch]))
+            )
+        session.loop.run_until(60_000)
+        assert session.client.remote_terminal.fb == session.server.terminal.fb
+        assert "lossy" in session.server.terminal.fb.row_text(0)
+
+    def test_no_keystroke_ever_lost(self):
+        """Input is never skipped, even though frames may be (§2)."""
+        up, down = lossy_profile()
+        session = InProcessSession(up, down, seed=9)
+        received = bytearray()
+        session.server.on_input = received.extend
+        session.connect()
+        payload = bytes(range(65, 91)) * 4  # A..Z x4
+        for i, ch in enumerate(payload):
+            session.loop.schedule_at(
+                3000 + i * 120, lambda ch=ch: session.client.type_bytes(bytes([ch]))
+            )
+        session.loop.run_until(3000 + len(payload) * 120 + 60_000)
+        assert bytes(received) == payload
+
+
+class TestRoaming:
+    def test_server_retargets_on_newer_datagram(self):
+        session = plain_session()
+        session.loop.schedule_at(3000, lambda: session.client.type_bytes(b"a"))
+        session.loop.run_until(4000)
+        assert session.server_endpoint.remote_addr == "client-0"
+        session.client_endpoint.roam("client-1")
+        session.loop.schedule_at(4500, lambda: session.client.type_bytes(b"b"))
+        session.loop.run_until(8000)
+        assert session.server_endpoint.remote_addr == "client-1"
+        assert "ab" in session.server.terminal.fb.row_text(0)
+
+    def test_roam_mid_burst_under_loss(self):
+        session = plain_session(loss=0.2, seed=3)
+        for i, ch in enumerate(b"abcdef"):
+            session.loop.schedule_at(
+                3000 + i * 200, lambda ch=ch: session.client.type_bytes(bytes([ch]))
+            )
+        session.loop.schedule_at(
+            3500, lambda: session.client_endpoint.roam("client-roamed")
+        )
+        session.loop.run_until(30_000)
+        assert "abcdef" in session.server.terminal.fb.row_text(0)
+
+    def test_heartbeats_reveal_roam_without_typing(self):
+        session = plain_session()
+        session.client_endpoint.roam("client-quiet")
+        # No keystrokes: the 3-second heartbeat must carry the new address.
+        session.loop.run_until(session.loop.now() + 8000)
+        assert session.server_endpoint.remote_addr == "client-quiet"
+
+
+class TestInterrupt:
+    def test_ctrl_c_reaches_server_during_flood(self):
+        """Control-C works within an RTT even while output floods (§1)."""
+        session = InProcessSession(
+            LinkConfig(delay_ms=100, bandwidth_bytes_per_ms=10.0, queue_bytes=4000),
+            LinkConfig(delay_ms=100, bandwidth_bytes_per_ms=10.0, queue_bytes=4000),
+            seed=2,
+        )
+        got_interrupt = []
+
+        def on_input(data: bytes) -> None:
+            if b"\x03" in data:
+                got_interrupt.append(session.loop.now())
+
+        session.server.on_input = on_input
+        session.connect()
+
+        # A runaway process floods the terminal with output.
+        def flood() -> None:
+            if not got_interrupt:
+                session.server.host_write(b"y\r\n" * 200)
+                session.loop.schedule(5.0, flood)
+
+        session.loop.schedule_at(2500, flood)
+        session.loop.schedule_at(4000, lambda: session.client.type_bytes(b"\x03"))
+        session.loop.run_until(10_000)
+        assert got_interrupt, "Control-C never arrived"
+        # Within a couple of RTTs despite the flood (frame-rate control
+        # keeps the network buffers from filling).
+        assert got_interrupt[0] - 4000 < 1000
+
+    def test_flood_does_not_fill_buffers(self):
+        """The server sends at the frame rate, not at output rate."""
+        session = InProcessSession(
+            LinkConfig(delay_ms=100),
+            LinkConfig(delay_ms=100, bandwidth_bytes_per_ms=50.0, queue_bytes=100_000),
+            seed=2,
+        )
+        session.connect()
+        for i in range(200):
+            session.loop.schedule_at(
+                3000 + i * 5, lambda: session.server.host_write(b"flood line\r\n" * 40)
+            )
+        session.loop.run_until(6000)
+        # The downlink queue never builds beyond a frame or two.
+        assert session.network.downlink.queueing_delay_ms() < 200.0
+
+
+class TestResize:
+    def test_client_resize_propagates(self):
+        session = plain_session()
+        sizes = []
+        session.server.on_resize = lambda c, r: sizes.append((c, r))
+        session.loop.schedule_at(3000, lambda: session.client.resize(132, 43))
+        session.loop.run_until(6000)
+        assert sizes == [(132, 43)]
+        assert session.server.terminal.fb.width == 132
+        assert session.client.remote_terminal.fb.width == 132
+
+
+class TestEchoAckFlow:
+    def test_echo_ack_reaches_client(self):
+        session = plain_session()
+        session.loop.schedule_at(3000, lambda: session.client.type_bytes(b"x"))
+        session.loop.run_until(8000)
+        assert session.client.remote_terminal.echo_ack >= 1

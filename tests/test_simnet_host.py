@@ -1,0 +1,138 @@
+"""Simulated UDP endpoints, routing, and roaming plumbing."""
+
+import pytest
+
+from repro.crypto.keys import Base64Key
+from repro.crypto.session import NullSession, Session
+from repro.errors import SimulationError
+from repro.simnet import EventLoop, LinkConfig, SimNetwork, SimUdpEndpoint
+
+
+def make_pair(seed=1, up=None, down=None, encrypt=False):
+    loop = EventLoop()
+    network = SimNetwork(
+        loop, up or LinkConfig(delay_ms=20), down or LinkConfig(delay_ms=20), seed=seed
+    )
+    if encrypt:
+        key = Base64Key.new()
+        make_session = lambda: Session(key)
+    else:
+        make_session = NullSession
+    client = SimUdpEndpoint(network, make_session(), False, "client")
+    server = SimUdpEndpoint(network, make_session(), True, "server")
+    client.set_remote_addr("server")
+    return loop, network, client, server
+
+
+class TestRouting:
+    def test_datagram_delivery(self):
+        loop, net, client, server = make_pair()
+        client.send(b"hello", now=0.0)
+        loop.run_until(100.0)
+        assert server.pop_received() == [b"hello"]
+
+    def test_reply_path_after_first_datagram(self):
+        loop, net, client, server = make_pair()
+        client.send(b"syn", now=0.0)
+        loop.run_until(100.0)
+        server.pop_received()
+        server.send(b"ack", now=loop.now())
+        loop.run_until(200.0)
+        assert client.pop_received() == [b"ack"]
+
+    def test_server_cannot_send_before_hearing_client(self):
+        loop, net, client, server = make_pair()
+        from repro.errors import NetworkError
+
+        with pytest.raises(NetworkError):
+            server.send(b"premature", now=0.0)
+
+    def test_duplicate_address_rejected(self):
+        loop, net, client, server = make_pair()
+        with pytest.raises(SimulationError):
+            SimUdpEndpoint(net, NullSession(), False, "client")
+
+
+class TestRoaming:
+    def test_roam_updates_registry(self):
+        loop, net, client, server = make_pair()
+        client.send(b"a", now=0.0)
+        loop.run_until(100.0)
+        server.pop_received()
+        client.roam("client-2")
+        client.send(b"b", now=loop.now())
+        loop.run_until(300.0)
+        assert server.pop_received() == [b"b"]
+        assert server.remote_addr == "client-2"
+
+    def test_server_refuses_to_roam(self):
+        loop, net, client, server = make_pair()
+        with pytest.raises(SimulationError):
+            server.roam("elsewhere")
+
+    def test_stale_address_datagrams_ignored_for_targeting(self):
+        """An attacker replaying old (lower-seq) packets from another
+        address must not steal the connection."""
+        loop, net, client, server = make_pair(encrypt=True)
+        client.send(b"one", now=0.0)
+        client.send(b"two", now=0.0)
+        loop.run_until(100.0)
+        server.pop_received()
+        assert server.remote_addr == "client"
+        # Replay the first (seq 0) raw datagram from a different address.
+        # Build it by sending from a roamed client with an old seq: we
+        # simulate by directly delivering a stale raw datagram.
+        # Since seq 0 < expected, the server must not retarget.
+        stale_raw = None
+        captured = []
+        orig = net.send_datagram
+
+        def capture(side, src, dst, raw):
+            captured.append(raw)
+            orig(side, src, dst, raw)
+
+        net.send_datagram = capture
+        client.send(b"three", now=loop.now())
+        loop.run_until(200.0)
+        stale_raw = captured[0]
+        server.deliver(stale_raw, "attacker")  # replayed from elsewhere
+        assert server.remote_addr == "client"
+
+
+class TestRttEstimation:
+    def test_srtt_converges_to_path_rtt(self):
+        loop, net, client, server = make_pair(
+            up=LinkConfig(delay_ms=75), down=LinkConfig(delay_ms=75)
+        )
+
+        def ping(i=0):
+            if i < 20:
+                client.send(b"p", now=loop.now())
+                loop.schedule(200.0, lambda: ping(i + 1))
+
+        def server_echo():
+            if server.pop_received():
+                server.send(b"e", now=loop.now())
+            loop.schedule(1.0, server_echo)
+
+        ping()
+        server_echo()
+        loop.run_until(6000.0)
+        assert client.has_rtt_sample
+        assert 140.0 < client.srtt < 190.0
+
+    def test_hold_time_excluded_from_rtt(self):
+        """Delayed replies must not inflate the RTT estimate (§2.2)."""
+        loop, net, client, server = make_pair(
+            up=LinkConfig(delay_ms=50), down=LinkConfig(delay_ms=50)
+        )
+        client.send(b"p", now=loop.now())
+        loop.run_until(100.0)
+        server.pop_received()
+        # Server waits 400 ms before replying (a delayed ack).
+        loop.run_until(500.0)
+        server.send(b"e", now=loop.now())
+        loop.run_until(700.0)
+        client.pop_received()
+        assert client.has_rtt_sample
+        assert client.srtt < 150.0  # ≈100 ms path, not 500 ms

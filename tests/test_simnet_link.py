@@ -1,0 +1,128 @@
+"""Link model: delay, loss, bandwidth, buffers, ordering."""
+
+from random import Random
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.simnet.eventloop import EventLoop
+from repro.simnet.link import Link, LinkConfig
+
+
+def _collect_link(config, seed=1):
+    loop = EventLoop()
+    link = Link(loop, config, Random(seed))
+    arrived = []
+    return loop, link, arrived, lambda p: arrived.append((loop.now(), p))
+
+
+class TestDelay:
+    def test_fixed_delay(self):
+        loop, link, arrived, deliver = _collect_link(LinkConfig(delay_ms=50.0))
+        link.send("pkt", 100, deliver)
+        loop.run_until(100.0)
+        assert arrived == [(50.0, "pkt")]
+
+    def test_zero_delay(self):
+        loop, link, arrived, deliver = _collect_link(LinkConfig())
+        link.send("pkt", 10, deliver)
+        loop.run_until(1.0)
+        assert arrived[0][0] == 0.0
+
+
+class TestLoss:
+    def test_zero_loss_delivers_all(self):
+        loop, link, arrived, deliver = _collect_link(LinkConfig(delay_ms=1.0))
+        for i in range(100):
+            link.send(i, 10, deliver)
+        loop.run_until(10.0)
+        assert len(arrived) == 100
+
+    def test_loss_rate_roughly_respected(self):
+        loop, link, arrived, deliver = _collect_link(
+            LinkConfig(delay_ms=1.0, loss=0.29), seed=3
+        )
+        for i in range(2000):
+            link.send(i, 10, deliver)
+        loop.run_until(10.0)
+        rate = 1 - len(arrived) / 2000
+        assert 0.24 < rate < 0.34
+        assert link.packets_dropped_loss == 2000 - len(arrived)
+
+    def test_full_loss_invalid(self):
+        with pytest.raises(SimulationError):
+            LinkConfig(loss=1.0)
+
+
+class TestBandwidth:
+    def test_serialization_delay(self):
+        # 10 bytes/ms: a 1000-byte packet takes 100 ms to serialize.
+        loop, link, arrived, deliver = _collect_link(
+            LinkConfig(delay_ms=0.0, bandwidth_bytes_per_ms=10.0)
+        )
+        link.send("big", 1000, deliver)
+        loop.run_until(200.0)
+        assert arrived[0][0] == pytest.approx(100.0)
+
+    def test_queueing_behind_earlier_packet(self):
+        loop, link, arrived, deliver = _collect_link(
+            LinkConfig(bandwidth_bytes_per_ms=10.0)
+        )
+        link.send("a", 1000, deliver)  # occupies 0..100
+        link.send("b", 500, deliver)  # serializes 100..150
+        loop.run_until(500.0)
+        assert [t for t, _ in arrived] == [pytest.approx(100.0), pytest.approx(150.0)]
+
+    def test_drop_tail_buffer(self):
+        # The backlog includes the packet being serialized: 600 + 600 fits
+        # in 1300 bytes, the third offer (backlog 1200 + 600) does not.
+        loop, link, arrived, deliver = _collect_link(
+            LinkConfig(bandwidth_bytes_per_ms=1.0, queue_bytes=1300)
+        )
+        accepted = [link.send(i, 600, deliver) for i in range(3)]
+        assert accepted == [True, True, False]
+        assert link.packets_dropped_queue == 1
+
+    def test_queueing_delay_reported(self):
+        loop, link, arrived, deliver = _collect_link(
+            LinkConfig(bandwidth_bytes_per_ms=1.0)
+        )
+        link.send("a", 500, deliver)
+        assert link.queueing_delay_ms() == pytest.approx(500.0)
+
+
+class TestOrdering:
+    def test_fifo_despite_jitter(self):
+        loop, link, arrived, deliver = _collect_link(
+            LinkConfig(delay_ms=10.0, jitter_ms=50.0), seed=9
+        )
+        for i in range(50):
+            loop.schedule_at(float(i), lambda i=i: link.send(i, 10, deliver))
+        loop.run_until(1000.0)
+        assert [p for _, p in arrived] == sorted(p for _, p in arrived)
+
+    def test_reordering_when_allowed(self):
+        loop, link, arrived, deliver = _collect_link(
+            LinkConfig(delay_ms=10.0, jitter_ms=80.0, allow_reorder=True),
+            seed=4,
+        )
+        for i in range(100):
+            loop.schedule_at(float(i), lambda i=i: link.send(i, 10, deliver))
+        loop.run_until(1000.0)
+        order = [p for _, p in arrived]
+        assert order != sorted(order)  # at least one inversion
+
+
+class TestValidation:
+    def test_bad_size(self):
+        loop, link, _, deliver = _collect_link(LinkConfig())
+        with pytest.raises(SimulationError):
+            link.send("p", 0, deliver)
+
+    def test_bad_configs(self):
+        with pytest.raises(SimulationError):
+            LinkConfig(delay_ms=-1)
+        with pytest.raises(SimulationError):
+            LinkConfig(bandwidth_bytes_per_ms=0.0)
+        with pytest.raises(SimulationError):
+            LinkConfig(loss=-0.1)

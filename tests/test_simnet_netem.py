@@ -1,0 +1,62 @@
+"""Canned link profiles match the paper's path characteristics."""
+
+from repro.simnet.netem import (
+    evdo_profile,
+    lossy_profile,
+    lte_bufferbloat_profile,
+    transoceanic_profile,
+)
+
+
+class TestEvdo:
+    def test_rtt_half_second(self):
+        up, down = evdo_profile()
+        assert 450 <= up.delay_ms + down.delay_ms <= 550
+
+    def test_asymmetric_bandwidth(self):
+        up, down = evdo_profile()
+        assert down.bandwidth_bytes_per_ms > up.bandwidth_bytes_per_ms
+
+
+class TestLte:
+    def test_bottomless_buffer(self):
+        """Cellular links of the paper's era delayed rather than dropped;
+        the standing queue is bounded by the TCP receive window."""
+        up, down = lte_bufferbloat_profile()
+        assert down.queue_bytes is None
+        from repro.simnet.tcp import TcpConfig
+
+        standing_ms = (
+            TcpConfig().receive_window_bytes / down.bandwidth_bytes_per_ms
+        )
+        assert 3000 <= standing_ms <= 8000  # ≈5 s of bufferbloat
+
+    def test_low_base_rtt(self):
+        up, down = lte_bufferbloat_profile()
+        assert up.delay_ms + down.delay_ms <= 100
+
+
+class TestTransoceanic:
+    def test_rtt_273ms(self):
+        up, down = transoceanic_profile()
+        assert abs(up.delay_ms + down.delay_ms - 273.0) < 10
+
+    def test_no_loss(self):
+        up, down = transoceanic_profile()
+        assert up.loss == 0.0 and down.loss == 0.0
+
+
+class TestLossy:
+    def test_paper_parameters(self):
+        up, down = lossy_profile()
+        assert up.delay_ms + down.delay_ms == 100.0
+        assert up.loss == down.loss == 0.29
+
+    def test_round_trip_loss_is_half(self):
+        up, down = lossy_profile()
+        survive = (1 - up.loss) * (1 - down.loss)
+        assert abs((1 - survive) - 0.50) < 0.01  # "50% round-trip loss"
+
+    def test_custom_rate(self):
+        up, down = lossy_profile(0.1)
+        assert up.loss == 0.1

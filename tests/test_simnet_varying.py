@@ -1,0 +1,129 @@
+"""Time-varying link rates (the cellular radio model)."""
+
+import math
+from random import Random
+
+import pytest
+
+from repro.analysis.stats import mean, stddev
+from repro.errors import SimulationError
+from repro.simnet.eventloop import EventLoop
+from repro.simnet.link import Link, LinkConfig
+from repro.simnet.varying import (
+    RateProcess,
+    RateProcessConfig,
+    attach_rate_process,
+)
+
+
+class TestRateProcess:
+    def test_mean_reversion_to_nominal(self):
+        config = RateProcessConfig(mean_bytes_per_ms=100.0, sigma=0.3)
+        rates = RateProcess(config, seed=1).trajectory(5000)
+        # Long-run geometric mean near nominal (log-symmetric process).
+        log_mean = mean([math.log(r) for r in rates])
+        assert abs(log_mean - math.log(100.0)) < 0.15
+
+    def test_rates_fluctuate(self):
+        config = RateProcessConfig(mean_bytes_per_ms=100.0, sigma=0.4)
+        rates = RateProcess(config, seed=2).trajectory(1000)
+        assert stddev(rates) > 5.0
+        assert min(rates) >= config.min_bytes_per_ms
+
+    def test_deterministic_per_seed(self):
+        config = RateProcessConfig(mean_bytes_per_ms=50.0)
+        a = RateProcess(config, seed=7).trajectory(100)
+        b = RateProcess(config, seed=7).trajectory(100)
+        assert a == b
+        assert a != RateProcess(config, seed=8).trajectory(100)
+
+    def test_zero_sigma_is_constant(self):
+        config = RateProcessConfig(mean_bytes_per_ms=80.0, sigma=0.0)
+        rates = RateProcess(config, seed=1).trajectory(50)
+        assert all(r == pytest.approx(80.0) for r in rates)
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            RateProcessConfig(mean_bytes_per_ms=0.0)
+        with pytest.raises(SimulationError):
+            RateProcessConfig(mean_bytes_per_ms=1.0, reversion=2.0)
+        with pytest.raises(SimulationError):
+            RateProcessConfig(mean_bytes_per_ms=1.0, step_ms=0.0)
+
+
+class TestAttachedLink:
+    def test_rate_changes_over_time(self):
+        loop = EventLoop()
+        link = Link(
+            loop, LinkConfig(delay_ms=10, bandwidth_bytes_per_ms=100.0), Random(1)
+        )
+        attach_rate_process(
+            loop,
+            link,
+            RateProcessConfig(mean_bytes_per_ms=100.0, sigma=0.5, step_ms=20.0),
+            seed=3,
+        )
+        seen = set()
+        for _ in range(20):
+            loop.run_for(20.0)
+            seen.add(round(link.config.bandwidth_bytes_per_ms, 3))
+        assert len(seen) > 10
+
+    def test_infinite_rate_link_rejected(self):
+        loop = EventLoop()
+        link = Link(loop, LinkConfig(delay_ms=10), Random(1))
+        with pytest.raises(SimulationError):
+            attach_rate_process(
+                loop, link, RateProcessConfig(mean_bytes_per_ms=10.0)
+            )
+
+    def test_delivery_still_reliable_under_fades(self):
+        loop = EventLoop()
+        link = Link(
+            loop, LinkConfig(delay_ms=10, bandwidth_bytes_per_ms=50.0), Random(1)
+        )
+        attach_rate_process(
+            loop,
+            link,
+            RateProcessConfig(mean_bytes_per_ms=50.0, sigma=0.6, step_ms=25.0),
+            seed=5,
+        )
+        got = []
+        for i in range(200):
+            loop.schedule_at(i * 10.0, lambda i=i: link.send(i, 300, got.append))
+        loop.run_until(60_000.0)
+        assert sorted(got) == list(range(200))
+
+    def test_latency_variance_increases(self):
+        """The point of the model: varying rates spread delivery times."""
+
+        def delays(varying: bool) -> list[float]:
+            loop = EventLoop()
+            link = Link(
+                loop,
+                LinkConfig(delay_ms=10, bandwidth_bytes_per_ms=30.0),
+                Random(1),
+            )
+            if varying:
+                attach_rate_process(
+                    loop,
+                    link,
+                    RateProcessConfig(
+                        mean_bytes_per_ms=30.0, sigma=0.8, step_ms=30.0
+                    ),
+                    seed=9,
+                )
+            out: list[float] = []
+            for i in range(150):
+                when = i * 50.0
+
+                def send(when=when) -> None:
+                    link.send(None, 600, lambda _: out.append(loop.now() - when))
+
+                loop.schedule_at(when, send)
+            loop.run_until(60_000.0)
+            return out
+
+        steady = delays(varying=False)
+        varying = delays(varying=True)
+        assert stddev(varying) > 2 * stddev(steady) + 1.0

@@ -1,0 +1,113 @@
+"""Tests for repro.analysis.stats."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.analysis.stats import (
+    cdf_points,
+    mean,
+    median,
+    percentile,
+    stddev,
+    summarize_latencies,
+)
+
+
+class TestMean:
+    def test_simple(self):
+        assert mean([1.0, 2.0, 3.0]) == 2.0
+
+    def test_single(self):
+        assert mean([5.0]) == 5.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            mean([])
+
+
+class TestMedian:
+    def test_odd(self):
+        assert median([3.0, 1.0, 2.0]) == 2.0
+
+    def test_even_interpolates(self):
+        assert median([1.0, 2.0, 3.0, 4.0]) == 2.5
+
+    def test_unsorted_input(self):
+        assert median([9.0, 1.0, 5.0]) == 5.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            median([])
+
+    @given(st.lists(st.floats(0, 1e6), min_size=1, max_size=100))
+    def test_median_within_range(self, values):
+        m = median(values)
+        assert min(values) <= m <= max(values)
+
+
+class TestStddev:
+    def test_constant_is_zero(self):
+        assert stddev([4.0, 4.0, 4.0]) == 0.0
+
+    def test_known_value(self):
+        # population stddev of [2, 4, 4, 4, 5, 5, 7, 9] is 2
+        assert stddev([2, 4, 4, 4, 5, 5, 7, 9]) == pytest.approx(2.0)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            stddev([])
+
+
+class TestPercentile:
+    def test_endpoints(self):
+        values = [1.0, 2.0, 3.0]
+        assert percentile(values, 0) == 1.0
+        assert percentile(values, 100) == 3.0
+
+    def test_interpolation(self):
+        assert percentile([0.0, 10.0], 50) == 5.0
+
+    def test_out_of_range_raises(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], 101)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+
+
+class TestCdf:
+    def test_fractions(self):
+        points = cdf_points([1.0, 2.0, 3.0, 4.0], [0.5, 2.0, 4.0, 10.0])
+        assert points == [(0.5, 0.0), (2.0, 0.5), (4.0, 1.0), (10.0, 1.0)]
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            cdf_points([], [1.0])
+
+    @given(
+        st.lists(st.floats(0, 1000), min_size=1, max_size=50),
+        st.lists(st.floats(0, 1000), min_size=1, max_size=10),
+    )
+    def test_monotone_nondecreasing(self, values, xs):
+        xs = sorted(xs)
+        fracs = [f for _, f in cdf_points(values, xs)]
+        assert all(a <= b for a, b in zip(fracs, fracs[1:]))
+
+
+class TestSummary:
+    def test_fields(self):
+        s = summarize_latencies([10.0, 20.0, 30.0])
+        assert s.count == 3
+        assert s.median_ms == 20.0
+        assert s.mean_ms == 20.0
+        assert s.p99_ms <= 30.0
+
+    def test_row_formats_ms_and_seconds(self):
+        fast = summarize_latencies([5.0]).row("fast")
+        slow = summarize_latencies([5000.0]).row("slow")
+        assert "ms" in fast
+        assert "5.00 s" in slow

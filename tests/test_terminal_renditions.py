@@ -1,0 +1,68 @@
+"""Renditions and SGR generation."""
+
+import pytest
+
+from repro.terminal.emulator import Emulator
+from repro.terminal.renditions import (
+    COLOR_DEFAULT,
+    DEFAULT_RENDITIONS,
+    Renditions,
+    indexed_color,
+    rgb_color,
+)
+
+
+class TestColorEncoding:
+    def test_indexed_range(self):
+        assert indexed_color(0) != indexed_color(255)
+        with pytest.raises(ValueError):
+            indexed_color(256)
+        with pytest.raises(ValueError):
+            indexed_color(-1)
+
+    def test_rgb_range(self):
+        assert rgb_color(1, 2, 3) != rgb_color(3, 2, 1)
+        with pytest.raises(ValueError):
+            rgb_color(300, 0, 0)
+
+    def test_tags_disjoint(self):
+        assert indexed_color(0) != COLOR_DEFAULT
+        assert rgb_color(0, 0, 0) != indexed_color(0)
+        assert rgb_color(0, 0, 0) != COLOR_DEFAULT
+
+
+class TestSgrRoundTrip:
+    """renditions.sgr() must reproduce the renditions when interpreted."""
+
+    CASES = [
+        Renditions(),
+        Renditions(bold=True),
+        Renditions(faint=True, italic=True),
+        Renditions(underlined=True, blink=True),
+        Renditions(inverse=True, invisible=True, strikethrough=True),
+        Renditions(foreground=indexed_color(3)),
+        Renditions(background=indexed_color(12)),
+        Renditions(foreground=indexed_color(196), background=indexed_color(238)),
+        Renditions(foreground=rgb_color(1, 2, 3), background=rgb_color(9, 8, 7)),
+        Renditions(bold=True, foreground=indexed_color(1), underlined=True),
+    ]
+
+    @pytest.mark.parametrize("renditions", CASES)
+    def test_roundtrip(self, renditions):
+        e = Emulator(5, 2)
+        e.write(renditions.sgr() + b"X")
+        assert e.fb.cell_at(0, 0).renditions == renditions
+
+    def test_sgr_starts_with_reset(self):
+        assert Renditions(bold=True).sgr().startswith(b"\x1b[0;")
+
+    def test_default_is_plain_reset(self):
+        assert DEFAULT_RENDITIONS.sgr() == b"\x1b[0m"
+
+
+class TestWithAttr:
+    def test_immutable_update(self):
+        base = Renditions()
+        changed = base.with_attr(bold=True)
+        assert changed.bold and not base.bold
+        assert base == Renditions()

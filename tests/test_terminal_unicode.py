@@ -1,0 +1,62 @@
+"""Character width classification."""
+
+from repro.terminal.unicode_width import char_width, is_combining
+
+
+class TestNarrow:
+    def test_ascii(self):
+        assert char_width("a") == 1
+        assert char_width(" ") == 1
+        assert char_width("~") == 1
+
+    def test_latin1(self):
+        assert char_width("é") == 1
+        assert char_width("ß") == 1
+
+    def test_greek_cyrillic(self):
+        assert char_width("Ω") == 1
+        assert char_width("Я") == 1
+
+
+class TestWide:
+    def test_cjk_ideographs(self):
+        assert char_width("中") == 2
+        assert char_width("語") == 2
+
+    def test_hiragana_katakana(self):
+        assert char_width("あ") == 2
+        assert char_width("カ") == 2
+
+    def test_hangul(self):
+        assert char_width("한") == 2
+
+    def test_fullwidth_forms(self):
+        assert char_width("Ａ") == 2
+        assert char_width("！") == 2
+
+    def test_emoji(self):
+        assert char_width("😀") == 2
+        assert char_width("🚀") == 2
+
+
+class TestZeroWidth:
+    def test_combining_accents(self):
+        assert char_width("́") == 0  # combining acute
+        assert is_combining("́")
+
+    def test_zero_width_space_and_joiners(self):
+        assert char_width("​") == 0
+        assert char_width("‍") == 0
+
+    def test_variation_selector(self):
+        assert char_width("️") == 0
+
+    def test_hebrew_points(self):
+        assert char_width("ְ") == 0
+
+    def test_controls_report_zero(self):
+        assert char_width("\x00") == 0
+        assert char_width("\x1b") == 0
+
+    def test_ascii_not_combining(self):
+        assert not is_combining("a")

@@ -1,0 +1,39 @@
+"""The trace CLI tool."""
+
+import pytest
+
+from repro.traces.cli import main
+
+
+class TestGenerate:
+    def test_writes_corpus(self, tmp_path, capsys):
+        assert main(["generate", str(tmp_path), "--scale", "0.01"]) == 0
+        out = capsys.readouterr().out
+        assert "wrote 6 traces" in out
+        assert len(list(tmp_path.glob("*.trace.json"))) == 6
+
+
+class TestInfo:
+    def test_summarizes(self, tmp_path, capsys):
+        main(["generate", str(tmp_path), "--scale", "0.01"])
+        capsys.readouterr()
+        files = sorted(str(p) for p in tmp_path.glob("*.trace.json"))
+        assert main(["info", *files]) == 0
+        out = capsys.readouterr().out
+        assert "shell-heavy" in out
+        assert "%" in out
+
+
+class TestReplay:
+    def test_replays_single_trace(self, tmp_path, capsys):
+        main(["generate", str(tmp_path), "--scale", "0.01"])
+        capsys.readouterr()
+        trace_file = str(tmp_path / "chat-irssi.trace.json")
+        assert main(["replay", trace_file, "--profile", "transoceanic"]) == 0
+        out = capsys.readouterr().out
+        assert "Mosh" in out and "SSH" in out
+        assert "instantly" in out
+
+    def test_unknown_profile_rejected(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["replay", "x.json", "--profile", "marsnet"])

@@ -1,0 +1,79 @@
+"""Trace serialization round trips."""
+
+import json
+
+import pytest
+
+from repro.errors import TraceError
+from repro.traces.generate import generate_persona
+from repro.traces.persist import (
+    load_corpus,
+    load_trace,
+    save_corpus,
+    save_trace,
+    trace_from_dict,
+    trace_to_dict,
+)
+
+
+class TestRoundTrip:
+    def test_dict_roundtrip(self):
+        trace = generate_persona("shell-heavy", seed=2, budget=40)
+        again = trace_from_dict(trace_to_dict(trace))
+        assert again.name == trace.name
+        assert [(s.keys, s.think_ms) for s in again.steps] == [
+            (s.keys, s.think_ms) for s in trace.steps
+        ]
+        assert [s.outputs for s in again.steps] == [s.outputs for s in trace.steps]
+
+    def test_file_roundtrip(self, tmp_path):
+        trace = generate_persona("mail-alpine", seed=1, budget=25)
+        path = tmp_path / "mail.trace.json"
+        save_trace(trace, path)
+        again = load_trace(path)
+        assert again.steps == trace.steps
+        assert again.startup == trace.startup
+
+    def test_binary_safety(self, tmp_path):
+        """Escape sequences and high bytes must survive JSON."""
+        trace = generate_persona("editor-vim", seed=1, budget=30)
+        path = tmp_path / "editor.trace.json"
+        save_trace(trace, path)
+        json.loads(path.read_text())  # genuinely valid JSON
+        assert load_trace(path).steps == trace.steps
+
+
+class TestCorpus:
+    def test_save_and_load_corpus(self, tmp_path):
+        traces = [
+            generate_persona("shell-heavy", budget=20),
+            generate_persona("chat-irssi", budget=20),
+        ]
+        paths = save_corpus(traces, tmp_path)
+        assert len(paths) == 2
+        loaded = load_corpus(tmp_path)
+        assert sorted(t.name for t in loaded) == ["chat-irssi", "shell-heavy"]
+
+    def test_empty_corpus_raises(self, tmp_path):
+        with pytest.raises(TraceError):
+            load_corpus(tmp_path)
+
+
+class TestErrors:
+    def test_bad_format_version(self):
+        with pytest.raises(TraceError):
+            trace_from_dict({"format": 99})
+
+    def test_missing_fields(self):
+        with pytest.raises(TraceError):
+            trace_from_dict({"format": 1, "name": "x"})
+
+    def test_unreadable_file(self, tmp_path):
+        with pytest.raises(TraceError):
+            load_trace(tmp_path / "missing.json")
+
+    def test_corrupt_json(self, tmp_path):
+        path = tmp_path / "bad.trace.json"
+        path.write_text("{not json")
+        with pytest.raises(TraceError):
+            load_trace(path)

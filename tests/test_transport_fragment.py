@@ -1,0 +1,132 @@
+"""Fragmentation and reassembly."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import FragmentError
+from repro.transport.fragment import (
+    OVERHEAD,
+    Fragment,
+    FragmentAssembly,
+    Fragmenter,
+)
+
+
+class TestFragmentCodec:
+    def test_roundtrip(self):
+        frag = Fragment(instruction_id=7, fragment_num=3, final=True, payload=b"abc")
+        assert Fragment.decode(frag.encode()) == frag
+
+    def test_final_flag_is_top_bit(self):
+        final = Fragment(0, 0, True, b"").encode()
+        nonfinal = Fragment(0, 0, False, b"").encode()
+        assert final[8] & 0x80
+        assert not nonfinal[8] & 0x80
+
+    def test_short_data_rejected(self):
+        with pytest.raises(FragmentError):
+            Fragment.decode(b"\x00\x01")
+
+    def test_fragment_num_bounds(self):
+        with pytest.raises(FragmentError):
+            Fragment(0, 0x8000, False, b"")
+
+
+class TestFragmenter:
+    def test_single_fragment_when_small(self):
+        frags = Fragmenter().make_fragments(b"tiny", mtu=100)
+        assert len(frags) == 1
+        assert frags[0].final
+        assert FragmentAssembly().add_fragment(frags[0]) == b"tiny"
+
+    def test_splits_at_mtu(self):
+        import os
+
+        data = os.urandom(512)  # incompressible: forces real splitting
+        mtu = 64
+        frags = Fragmenter().make_fragments(data, mtu)
+        assert len(frags) > 1
+        assert all(len(f.encode()) <= mtu for f in frags)
+        assert frags[-1].final and not any(f.final for f in frags[:-1])
+        assembly = FragmentAssembly()
+        out = None
+        for f in frags:
+            out = assembly.add_fragment(f)
+        assert out == data
+
+    def test_compression_shrinks_repetitive_diffs(self):
+        """Screen diffs are repetitive ANSI text; the wire size should be
+        far below the raw size (Mosh compresses instructions too)."""
+        diff = (b"\x1b[5;1H" + b"the same line of text " * 3) * 50
+        frags = Fragmenter().make_fragments(diff, mtu=1400)
+        wire = sum(len(f.encode()) for f in frags)
+        assert wire < len(diff) / 5
+
+    def test_ids_increment(self):
+        fragmenter = Fragmenter()
+        a = fragmenter.make_fragments(b"one", 100)[0]
+        b = fragmenter.make_fragments(b"two", 100)[0]
+        assert b.instruction_id == a.instruction_id + 1
+
+    def test_identical_instruction_reuses_id(self):
+        fragmenter = Fragmenter()
+        a = fragmenter.make_fragments(b"same", 100)
+        b = fragmenter.make_fragments(b"same", 100)
+        assert a[0].instruction_id == b[0].instruction_id
+
+    def test_mtu_too_small(self):
+        with pytest.raises(FragmentError):
+            Fragmenter().make_fragments(b"x", OVERHEAD)
+
+
+class TestAssembly:
+    def _frags(self, data=b"hello world", mtu=14, fragmenter=None):
+        return (fragmenter or Fragmenter()).make_fragments(data, mtu)
+
+    def test_in_order_assembly(self):
+        assembly = FragmentAssembly()
+        frags = self._frags()
+        assert len(frags) > 1
+        results = [assembly.add_fragment(f) for f in frags]
+        assert results[:-1] == [None] * (len(frags) - 1)
+        assert results[-1] == b"hello world"
+
+    def test_out_of_order_assembly(self):
+        assembly = FragmentAssembly()
+        frags = self._frags()
+        results = [assembly.add_fragment(f) for f in reversed(frags)]
+        assert results[-1] == b"hello world"
+
+    def test_duplicates_ignored(self):
+        assembly = FragmentAssembly()
+        frags = self._frags()
+        assert len(frags) >= 2
+        assert assembly.add_fragment(frags[0]) is None
+        assert assembly.add_fragment(frags[0]) is None  # duplicate
+        out = None
+        for f in frags[1:]:
+            out = assembly.add_fragment(f)
+        assert out == b"hello world"
+
+    def test_newer_instruction_discards_partial(self):
+        fragmenter = Fragmenter()
+        old = fragmenter.make_fragments(b"old instruction", 14)
+        new = fragmenter.make_fragments(b"new instruction", 14)
+        assembly = FragmentAssembly()
+        assembly.add_fragment(old[0])
+        for f in new[:-1]:
+            assert assembly.add_fragment(f) is None
+        assert assembly.add_fragment(new[-1]) == b"new instruction"
+        # Stale fragment of the old instruction is dropped silently.
+        assert assembly.add_fragment(old[1]) is None
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.binary(min_size=1, max_size=3000), st.integers(OVERHEAD + 1, 600))
+    def test_roundtrip_property(self, data, mtu):
+        frags = Fragmenter().make_fragments(data, mtu)
+        assembly = FragmentAssembly()
+        out = None
+        for f in frags:
+            out = assembly.add_fragment(f)
+        assert out == data

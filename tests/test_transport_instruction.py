@@ -1,0 +1,51 @@
+"""Instruction encoding."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import TransportError
+from repro.transport.instruction import PROTOCOL_VERSION, Instruction
+
+nums = st.integers(0, (1 << 64) - 1)
+
+
+class TestEncoding:
+    def test_roundtrip(self):
+        inst = Instruction(
+            old_num=1, new_num=2, ack_num=3, throwaway_num=0, diff=b"delta"
+        )
+        assert Instruction.decode(inst.encode()) == inst
+
+    def test_empty_diff(self):
+        inst = Instruction(old_num=5, new_num=5, ack_num=9, throwaway_num=2, diff=b"")
+        again = Instruction.decode(inst.encode())
+        assert again.diff == b""
+        assert again.is_heartbeat
+
+    def test_heartbeat_detection(self):
+        assert Instruction(3, 3, 0, 0, b"").is_heartbeat
+        assert not Instruction(3, 4, 0, 0, b"").is_heartbeat
+        assert not Instruction(3, 3, 0, 0, b"x").is_heartbeat
+
+    def test_version_checked(self):
+        inst = Instruction(1, 2, 3, 0, b"d")
+        raw = bytearray(inst.encode())
+        raw[0] = PROTOCOL_VERSION + 1
+        with pytest.raises(TransportError):
+            Instruction.decode(bytes(raw))
+
+    def test_truncated_rejected(self):
+        with pytest.raises(TransportError):
+            Instruction.decode(b"\x02\x00\x00")
+
+    def test_out_of_range_nums(self):
+        with pytest.raises(TransportError):
+            Instruction(-1, 0, 0, 0, b"")
+        with pytest.raises(TransportError):
+            Instruction(0, 1 << 64, 0, 0, b"")
+
+    @given(nums, nums, nums, nums, st.binary(max_size=1000))
+    def test_roundtrip_property(self, old, new, ack, throwaway, diff):
+        inst = Instruction(old, new, ack, throwaway, diff)
+        assert Instruction.decode(inst.encode()) == inst

@@ -1,0 +1,194 @@
+"""Transport sender/receiver over a scriptable in-memory endpoint."""
+
+import pytest
+
+from repro.input.events import UserBytes
+from repro.input.userstream import UserStream
+from repro.network.interface import DatagramEndpoint
+from repro.crypto.session import NullSession
+from repro.transport.fragment import Fragment
+from repro.transport.instruction import Instruction
+from repro.transport.receiver import TransportReceiver
+from repro.transport.sender import TransportSender
+from repro.transport.timing import SenderTiming
+
+
+class LoopbackEndpoint(DatagramEndpoint):
+    """Captures transmitted datagrams for inspection / manual delivery."""
+
+    def __init__(self, is_server=False):
+        super().__init__(NullSession(), is_server=is_server)
+        self.sent: list[bytes] = []
+        self.set_remote_addr("peer")
+        self._fake_srtt = 100.0
+
+    def _transmit(self, raw, now):
+        self.sent.append(raw)
+
+    # Simplify timing for tests.
+    @property
+    def srtt(self):
+        return self._fake_srtt
+
+    @property
+    def has_rtt_sample(self):
+        return True
+
+    def rto(self):
+        return 100.0
+
+
+def sent_instructions(endpoint):
+    from repro.transport.fragment import FragmentAssembly
+
+    assembly = FragmentAssembly()
+    out = []
+    for raw in endpoint.sent:
+        message = NullSession().decrypt(raw)
+        payload = message.text[4:]  # skip the 2+2 byte timestamps
+        encoded = assembly.add_fragment(Fragment.decode(payload))
+        if encoded:
+            out.append(Instruction.decode(encoded))
+    return out
+
+
+def make_sender(timing=None):
+    endpoint = LoopbackEndpoint()
+    sender = TransportSender(endpoint, UserStream(), timing or SenderTiming())
+    return endpoint, sender
+
+
+class TestSenderBasics:
+    def test_no_send_before_remote_known(self):
+        endpoint = LoopbackEndpoint()
+        endpoint._remote_addr = None
+        sender = TransportSender(endpoint, UserStream())
+        sender.state.push_event(UserBytes(b"a"))
+        sender.tick(0.0)
+        assert endpoint.sent == []
+
+    def test_state_change_sent_after_mindelay(self):
+        endpoint, sender = make_sender()
+        sender.tick(0.0)  # initial empty ack
+        endpoint.sent.clear()
+        sender.state.push_event(UserBytes(b"a"))
+        sender.tick(100.0)  # first tick: starts the collection interval
+        sender.tick(100.0 + sender.timing.send_mindelay_ms)
+        instructions = sent_instructions(endpoint)
+        assert any(i.diff for i in instructions)
+
+    def test_keystroke_diff_contains_event(self):
+        endpoint, sender = make_sender()
+        sender.state.push_event(UserBytes(b"Z"))
+        sender.tick(0.0)
+        sender.tick(1000.0)
+        instructions = sent_instructions(endpoint)
+        data = b"".join(i.diff for i in instructions)
+        assert b"Z" in data
+
+    def test_heartbeat_when_idle(self):
+        endpoint, sender = make_sender()
+        sender.tick(0.0)  # connection-opening empty ack
+        count = len(endpoint.sent)
+        sender.tick(sender.timing.heartbeat_interval_ms + 1.0)
+        assert len(endpoint.sent) > count
+
+    def test_wait_time_reflects_ack_timer(self):
+        endpoint, sender = make_sender()
+        sender.tick(0.0)
+        wait = sender.wait_time(1.0)
+        assert wait is not None
+        assert wait <= sender.timing.heartbeat_interval_ms
+
+
+class TestPacing:
+    def test_frame_rate_is_half_srtt(self):
+        timing = SenderTiming()
+        assert timing.send_interval(100.0) == 50.0
+        assert timing.send_interval(10.0) == 20.0  # 50 Hz cap
+        assert timing.send_interval(10_000.0) == 250.0  # max interval
+
+    def test_rapid_changes_coalesce(self):
+        """Many quick state changes produce few instructions."""
+        endpoint, sender = make_sender()
+        sender.tick(0.0)
+        endpoint.sent.clear()
+        t = 1000.0
+        for i in range(50):
+            sender.state.push_event(UserBytes(b"x"))
+            sender.tick(t)
+            t += 1.0  # 1 ms apart: inside one collection interval
+        sender.tick(t + 300.0)
+        instructions = [i for i in sent_instructions(endpoint) if i.diff]
+        assert 1 <= len(instructions) <= 3
+
+
+class TestAcks:
+    def test_ack_processing_prunes_states(self):
+        endpoint, sender = make_sender()
+        for i in range(5):
+            sender.state.push_event(UserBytes(b"k"))
+            sender.tick(i * 300.0)
+            sender.tick(i * 300.0 + 10.0)
+        nums = [s.num for s in sender._sent_states]
+        sender.process_acknowledgment_through(max(nums), now=10_000.0)
+        assert sender._sent_states[0].num == max(nums)
+
+    def test_delayed_ack_timer(self):
+        endpoint, sender = make_sender()
+        sender.tick(0.0)
+        endpoint.sent.clear()
+        sender.set_data_ack(now=100.0)
+        sender.tick(100.0)  # not due yet
+        before = len(endpoint.sent)
+        sender.tick(100.0 + sender.timing.ack_delay_ms)
+        assert len(endpoint.sent) > before
+        assert sender.empty_acks_sent >= 1
+
+
+class TestReceiver:
+    def _inst(self, old, new, diff=b"", ack=0, throwaway=0):
+        return Instruction(old, new, ack, throwaway, diff)
+
+    def test_apply_creates_state(self):
+        recv = TransportReceiver(UserStream())
+        diff = UserBytes(b"a").encode()
+        assert recv.process_instruction(self._inst(0, 1, diff))
+        assert recv.latest_num == 1
+        assert recv.latest_state.total_count == 1
+
+    def test_duplicate_ignored(self):
+        recv = TransportReceiver(UserStream())
+        inst = self._inst(0, 1, UserBytes(b"a").encode())
+        assert recv.process_instruction(inst)
+        assert not recv.process_instruction(inst)
+        assert recv.duplicates_ignored == 1
+        assert recv.latest_state.total_count == 1
+
+    def test_missing_base_ignored(self):
+        recv = TransportReceiver(UserStream())
+        assert not recv.process_instruction(self._inst(5, 6, b""))
+        assert recv.unusable_ignored == 1
+
+    def test_out_of_order_applies_when_base_arrives(self):
+        recv = TransportReceiver(UserStream())
+        first = self._inst(0, 1, UserBytes(b"a").encode())
+        second = self._inst(1, 2, UserBytes(b"b").encode())
+        assert not recv.process_instruction(second)  # base missing
+        assert recv.process_instruction(first)
+        assert recv.process_instruction(second)
+        assert recv.latest_state.total_count == 2
+
+    def test_throwaway_prunes_but_keeps_latest(self):
+        recv = TransportReceiver(UserStream())
+        recv.process_instruction(self._inst(0, 1, UserBytes(b"a").encode()))
+        recv.process_instruction(self._inst(1, 2, UserBytes(b"b").encode()))
+        recv.process_throwaway_until(2)
+        assert recv.known_nums() == [2]
+
+    def test_empty_diff_clones_state(self):
+        recv = TransportReceiver(UserStream())
+        recv.process_instruction(self._inst(0, 1, UserBytes(b"a").encode()))
+        assert recv.process_instruction(self._inst(1, 2, b""))
+        assert recv.latest_state.total_count == 1
+        assert recv.latest_num == 2

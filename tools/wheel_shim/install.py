@@ -1,0 +1,58 @@
+"""Install the wheel shim into site-packages with proper metadata.
+
+The dist-info directory matters: setuptools discovers the ``bdist_wheel``
+command through the ``distutils.commands`` entry-point group, and pip checks
+for an installed `wheel` distribution before allowing legacy installs.
+
+Usage: python tools/wheel_shim/install.py
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import site
+import sys
+
+SHIM_DIR = os.path.dirname(os.path.abspath(__file__))
+VERSION = "0.38.4+shim"
+
+METADATA = f"""Metadata-Version: 2.1
+Name: wheel
+Version: {VERSION}
+Summary: Minimal offline shim for the wheel package
+"""
+
+ENTRY_POINTS = """[distutils.commands]
+bdist_wheel = wheel.bdist_wheel:bdist_wheel
+"""
+
+
+def main() -> int:
+    target = site.getsitepackages()[0]
+    pkg_dst = os.path.join(target, "wheel")
+    if os.path.exists(pkg_dst):
+        shutil.rmtree(pkg_dst)
+    shutil.copytree(os.path.join(SHIM_DIR, "wheel"), pkg_dst)
+
+    dist_info = os.path.join(target, f"wheel-{VERSION.replace('+', '_')}.dist-info")
+    # PEP 440 local versions use '+'; the directory name keeps it verbatim to
+    # stay importlib.metadata-discoverable.
+    dist_info = os.path.join(target, "wheel-0.38.4.dist-info")
+    os.makedirs(dist_info, exist_ok=True)
+    with open(os.path.join(dist_info, "METADATA"), "w") as f:
+        f.write(METADATA)
+    with open(os.path.join(dist_info, "entry_points.txt"), "w") as f:
+        f.write(ENTRY_POINTS)
+    with open(os.path.join(dist_info, "INSTALLER"), "w") as f:
+        f.write("wheel-shim\n")
+    with open(os.path.join(dist_info, "RECORD"), "w") as f:
+        f.write("")
+    with open(os.path.join(dist_info, "top_level.txt"), "w") as f:
+        f.write("wheel\n")
+    print(f"wheel shim installed to {pkg_dst}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,14 @@
+"""Minimal pure-Python subset of the `wheel` package.
+
+The offline build environment ships setuptools but not `wheel`, which makes
+``pip install -e .`` impossible (setuptools' dist_info / editable_wheel
+commands require `wheel.bdist_wheel` and `wheel.wheelfile.WheelFile`).
+This shim implements exactly the surface those commands use for a
+pure-Python py3-none-any project. Install it with::
+
+    python tools/wheel_shim/install.py
+
+It is not part of the repro library itself.
+"""
+
+__version__ = "0.38.4+shim"

@@ -1,0 +1,166 @@
+"""Minimal bdist_wheel command for pure-Python py3-none-any wheels.
+
+Implements only what setuptools' dist_info and editable_wheel commands call:
+``get_tag``, ``wheel_dist_name``, ``write_wheelfile`` and ``egg2dist``.
+Building a full (non-editable) wheel via ``run`` is also supported for
+completeness, using the same helpers.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import shutil
+
+from setuptools import Command
+
+from . import __version__
+
+
+def _safe_name(component: str) -> str:
+    return re.sub(r"[^\w\d.]+", "_", component, flags=re.UNICODE)
+
+
+def _safe_version(version: str) -> str:
+    return _safe_name(version.replace(" ", "."))
+
+
+class bdist_wheel(Command):
+    description = "create a wheel distribution (pure-Python shim)"
+
+    user_options = [
+        ("dist-dir=", "d", "directory to put final built distributions in"),
+        ("keep-temp", "k", "keep the pseudo-installation tree"),
+        ("plat-name=", "p", "platform name (ignored: always 'any')"),
+    ]
+    boolean_options = ["keep-temp"]
+
+    def initialize_options(self):
+        self.dist_dir = None
+        self.keep_temp = False
+        self.plat_name = None
+        self.data_dir = None
+
+    def finalize_options(self):
+        if self.dist_dir is None:
+            self.dist_dir = "dist"
+        self.data_dir = self.wheel_dist_name + ".data"
+
+    @property
+    def wheel_dist_name(self):
+        return "-".join(
+            (
+                _safe_name(self.distribution.get_name()),
+                _safe_version(self.distribution.get_version()),
+            )
+        )
+
+    def get_tag(self):
+        return ("py3", "none", "any")
+
+    def write_wheelfile(self, wheelfile_base, generator=f"wheel-shim ({__version__})"):
+        content = (
+            "Wheel-Version: 1.0\n"
+            f"Generator: {generator}\n"
+            "Root-Is-Purelib: true\n"
+            "Tag: py3-none-any\n"
+        )
+        with open(os.path.join(wheelfile_base, "WHEEL"), "w", encoding="utf-8") as f:
+            f.write(content)
+
+    def egg2dist(self, egginfo_path, distinfo_path):
+        """Convert an .egg-info directory into a .dist-info directory."""
+        if os.path.exists(distinfo_path):
+            shutil.rmtree(distinfo_path)
+        os.makedirs(distinfo_path)
+
+        pkg_info = os.path.join(egginfo_path, "PKG-INFO")
+        metadata = self._pkginfo_to_metadata(
+            pkg_info, os.path.join(egginfo_path, "requires.txt")
+        )
+        with open(
+            os.path.join(distinfo_path, "METADATA"), "w", encoding="utf-8"
+        ) as f:
+            f.write(metadata)
+
+        for name in ("entry_points.txt", "top_level.txt"):
+            src = os.path.join(egginfo_path, name)
+            if os.path.exists(src):
+                shutil.copy2(src, os.path.join(distinfo_path, name))
+
+        shutil.rmtree(egginfo_path)
+
+    @staticmethod
+    def _pkginfo_to_metadata(pkg_info_path, requires_path):
+        """PKG-INFO plus requires.txt -> METADATA (Metadata 2.1)."""
+        with open(pkg_info_path, encoding="utf-8") as f:
+            pkg_info = f.read()
+        head, _, body = pkg_info.partition("\n\n")
+        lines = [
+            line
+            for line in head.splitlines()
+            if not line.startswith("Metadata-Version:")
+        ]
+        lines.insert(0, "Metadata-Version: 2.1")
+
+        if os.path.exists(requires_path):
+            with open(requires_path, encoding="utf-8") as f:
+                extra = None
+                for raw in f.read().splitlines():
+                    line = raw.strip()
+                    if not line:
+                        continue
+                    if line.startswith("[") and line.endswith("]"):
+                        section = line[1:-1]
+                        extra, _, marker = section.partition(":")
+                        if extra:
+                            lines.append(f"Provides-Extra: {extra}")
+                        extra = (extra, marker) if extra else (None, marker)
+                    else:
+                        if extra is None:
+                            lines.append(f"Requires-Dist: {line}")
+                        else:
+                            name, marker = extra
+                            clauses = []
+                            if marker:
+                                clauses.append(f"({marker})")
+                            if name:
+                                clauses.append(f'extra == "{name}"')
+                            if clauses:
+                                lines.append(
+                                    f"Requires-Dist: {line}; "
+                                    + " and ".join(clauses)
+                                )
+                            else:
+                                lines.append(f"Requires-Dist: {line}")
+
+        return "\n".join(lines) + "\n\n" + body
+
+    def run(self):
+        """Build a standard (non-editable) wheel."""
+        from .wheelfile import WheelFile
+
+        build = self.reinitialize_command("build", reinit_subcommands=True)
+        build.ensure_finalized()
+        build.run()
+        self.run_command("egg_info")
+        egg_info = self.get_finalized_command("egg_info")
+
+        distinfo_dir_name = f"{self.wheel_dist_name}.dist-info"
+        build_lib = build.build_lib
+        distinfo_path = os.path.join(build_lib, distinfo_dir_name)
+        self.egg2dist(
+            os.path.join(egg_info.egg_info),
+            distinfo_path,
+        )
+        self.write_wheelfile(distinfo_path)
+
+        os.makedirs(self.dist_dir, exist_ok=True)
+        tag = "-".join(self.get_tag())
+        wheel_path = os.path.join(
+            self.dist_dir, f"{self.wheel_dist_name}-{tag}.whl"
+        )
+        with WheelFile(wheel_path, "w") as wf:
+            wf.write_files(build_lib)
+        if not self.keep_temp:
+            shutil.rmtree(build_lib, ignore_errors=True)

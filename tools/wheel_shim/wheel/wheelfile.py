@@ -1,0 +1,79 @@
+"""WheelFile: a ZipFile that maintains the wheel RECORD manifest."""
+
+from __future__ import annotations
+
+import base64
+import hashlib
+import os
+import stat
+import zipfile
+
+
+def _urlsafe_b64encode(data: bytes) -> bytes:
+    return base64.urlsafe_b64encode(data).rstrip(b"=")
+
+
+class WheelFile(zipfile.ZipFile):
+    """Write-mode wheel archive that appends RECORD on close."""
+
+    def __init__(self, file, mode="r", compression=zipfile.ZIP_DEFLATED):
+        super().__init__(file, mode, compression=compression, allowZip64=True)
+        basename = os.path.basename(str(file))
+        if not basename.endswith(".whl"):
+            raise ValueError(f"not a wheel filename: {basename}")
+        tokens = basename[:-4].split("-")
+        if len(tokens) < 5:
+            raise ValueError(f"bad wheel filename: {basename}")
+        self.dist_info_path = f"{tokens[0]}-{tokens[1]}.dist-info"
+        self.record_path = f"{self.dist_info_path}/RECORD"
+        self._wheel_mode = mode
+        self._records: list[tuple[str, str, str]] = []
+
+    def _note(self, arcname: str, data: bytes) -> None:
+        if arcname == self.record_path:
+            return
+        digest = _urlsafe_b64encode(hashlib.sha256(data).digest()).decode("ascii")
+        self._records.append((arcname, f"sha256={digest}", str(len(data))))
+
+    def writestr(self, zinfo_or_arcname, data, compress_type=None):
+        if isinstance(data, str):
+            data = data.encode("utf-8")
+        super().writestr(zinfo_or_arcname, data, compress_type)
+        if isinstance(zinfo_or_arcname, zipfile.ZipInfo):
+            arcname = zinfo_or_arcname.filename
+        else:
+            arcname = zinfo_or_arcname
+        self._note(arcname, data)
+
+    def write(self, filename, arcname=None, compress_type=None):
+        with open(filename, "rb") as f:
+            data = f.read()
+        if arcname is None:
+            arcname = filename
+        zinfo = zipfile.ZipInfo(str(arcname).replace(os.sep, "/"))
+        zinfo.compress_type = (
+            compress_type if compress_type is not None else self.compression
+        )
+        mode = os.stat(filename).st_mode
+        zinfo.external_attr = (stat.S_IMODE(mode) | stat.S_IFMT(mode)) << 16
+        super().writestr(zinfo, data)
+        self._note(zinfo.filename, data)
+
+    def write_files(self, base_dir):
+        """Add every file under ``base_dir``, RECORD-tracked, sorted."""
+        entries = []
+        for root, _dirs, files in os.walk(base_dir):
+            for name in files:
+                path = os.path.join(root, name)
+                arcname = os.path.relpath(path, base_dir).replace(os.sep, "/")
+                entries.append((arcname, path))
+        for arcname, path in sorted(entries):
+            if arcname != self.record_path:
+                self.write(path, arcname)
+
+    def close(self):
+        if self._wheel_mode == "w" and self.fp is not None:
+            lines = [",".join(rec) for rec in self._records]
+            lines.append(f"{self.record_path},,")
+            super().writestr(self.record_path, "\n".join(lines) + "\n")
+        super().close()
