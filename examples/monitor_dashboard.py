@@ -53,6 +53,12 @@ def main() -> None:
           "Last contact" not in session.client.display().row_text(0))
     del frames_before
 
+    # The reactor runtime keeps counters for the whole session: transport
+    # ticks, datagram traffic, timer behaviour, frames actually shown.
+    print("\nreactor runtime metrics:")
+    for name, value in session.reactor.metrics.snapshot().items():
+        print(f"   {name:>18}: {value}")
+
 
 if __name__ == "__main__":
     main()

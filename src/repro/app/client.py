@@ -5,30 +5,34 @@ prediction-overlaid state — the same :class:`~repro.terminal.Display`
 machinery used on the wire, pointed at the local terminal. When the
 server goes quiet past a few heartbeat intervals, a status line warns the
 user, like real Mosh's blue bar.
+
+Prediction wiring, display-change detection, and tick pacing all live in
+:class:`~repro.session.core.ClientCore`; this module binds that core to a
+:class:`~repro.runtime.RealReactor` whose select() loop watches the UDP
+socket and stdin, and paints whenever the core reports a display change.
 """
 
 from __future__ import annotations
 
 import os
-import select
 import sys
 import termios
 import tty
 
-from repro.clock import RealClock
 from repro.crypto.keys import Base64Key
 from repro.crypto.session import Session
-from repro.input.events import Resize, UserBytes
-from repro.input.userstream import UserStream
 from repro.network.connection import UdpConnection
-from repro.prediction.engine import DisplayPreference, PredictionEngine
-from repro.prediction.overlays import NotificationEngine
-from repro.terminal.complete import Complete
+from repro.prediction.engine import DisplayPreference
+from repro.runtime.reactor import RealReactor
+from repro.session.core import ClientCore
 from repro.terminal.display import Display
 from repro.terminal.framebuffer import Framebuffer
-from repro.transport.transport import Transport
 
 _DISCONNECT_WARN_MS = 9000.0
+
+#: How often the idle client refreshes its display so the connectivity
+#: warning bar can appear and age while the server is silent.
+_HEARTBEAT_MS = 1000.0
 
 
 class ClientApp:
@@ -47,83 +51,64 @@ class ClientApp:
     ) -> None:
         self.connection = UdpConnection(Session(key), is_server=False)
         self.connection.set_remote_addr((host, port))
-        self.transport: Transport[UserStream, Complete] = Transport(
-            self.connection, UserStream(), Complete(width, height)
+        self.reactor = RealReactor()
+        self.core = ClientCore(
+            self.reactor,
+            self.connection,
+            width,
+            height,
+            preference=preference,
+            heartbeat_ms=_HEARTBEAT_MS,
         )
-        self.predictor = PredictionEngine(preference)
-        self.notifications = NotificationEngine()
-        self._clock = RealClock()
+        self.transport = self.core.transport
+        self.predictor = self.core.predictor
+        self.notifications = self.core.notifications
+        self.core.on_display_change = lambda now: self.render()
         self._stdin_fd = stdin_fd if stdin_fd is not None else sys.stdin.fileno()
         self._stdout = stdout if stdout is not None else sys.stdout.buffer
         self._painted: Framebuffer | None = None
         self.running = False
+        self.reactor.add_reader(self.connection.fileno(), self._socket_readable)
+        self.reactor.add_reader(self._stdin_fd, self._stdin_readable)
+        # First tick: sends the opening instruction toward the server and
+        # arms the pump's self-scheduling timer.
+        self.core.kick()
 
     # ------------------------------------------------------------------
 
-    def _srtt(self) -> float:
-        ep = self.connection
-        return ep.srtt if ep.has_rtt_sample else 1000.0
+    def _socket_readable(self) -> None:
+        # Draining the socket fires the endpoint's on_datagram hook: the
+        # core notes server liveness, ticks the transport, validates
+        # predictions against the new frame, and reports display changes.
+        self.connection.receive_ready()
+
+    def _stdin_readable(self) -> None:
+        data = os.read(self._stdin_fd, 4096)
+        if data:
+            self.send_input(data)
 
     def send_input(self, data: bytes) -> None:
-        now = self._clock.now()
-        stream = self.transport.local_state
-        for byte in data:
-            stream.push_event(UserBytes(bytes([byte])))
-            self.predictor.new_user_byte(
-                byte,
-                self.transport.remote_state.fb,
-                now,
-                stream.total_count,
-                self._srtt(),
-            )
-        self.transport.tick(now)
+        self.core.type_bytes(data)
 
     def send_resize(self, cols: int, rows: int) -> None:
-        self.transport.local_state.push_event(Resize(cols=cols, rows=rows))
-        self.predictor.reset()
-        self.transport.tick(self._clock.now())
+        self.core.resize(cols, rows)
 
     # ------------------------------------------------------------------
 
     def render(self) -> None:
         """Paint the display: frame + predictions + connectivity bar."""
-        state = self.transport.remote_state
-        now = self._clock.now()
-        shown = self.predictor.apply(state.fb)
-        shown = self.notifications.apply(shown, now)
+        shown = self.core.display()
         diff = Display.new_frame(self._painted, shown)
         if diff:
             self._stdout.write(diff)
             self._stdout.flush()
-        self._painted = shown.copy() if shown is state.fb else shown
+        self._painted = (
+            shown.copy() if shown is self.transport.remote_state.fb else shown
+        )
 
     def step(self, timeout_ms: float = 20.0) -> None:
-        now = self._clock.now()
-        wait = self.transport.wait_time(now)
-        if wait is None:
-            wait = timeout_ms
-        wait = max(0.0, min(wait, timeout_ms))
-        readable, _, _ = select.select(
-            [self.connection.fileno(), self._stdin_fd], [], [], wait / 1000.0
-        )
-        now = self._clock.now()
-        if self.connection.fileno() in readable:
-            if self.connection.receive_ready():
-                self.notifications.server_heard(now)
-                before = self.transport.remote_state_num
-                self.transport.tick(now)
-                if self.transport.remote_state_num != before:
-                    state = self.transport.remote_state
-                    self.predictor.report_frame(
-                        state.fb, state.echo_ack, now, self._srtt()
-                    )
-                    self.render()
-        if self._stdin_fd in readable:
-            data = os.read(self._stdin_fd, 4096)
-            if data:
-                self.send_input(data)
-                self.render()
-        self.transport.tick(self._clock.now())
+        """One select()-driven iteration of the client loop."""
+        self.reactor.run_once(timeout_ms)
 
     # ------------------------------------------------------------------
 
@@ -155,8 +140,10 @@ class ClientApp:
         heard = self.connection.last_heard
         if heard is None:
             return None
-        return self._clock.now() - heard
+        return self.reactor.now() - heard
 
     def close(self) -> None:
         self.running = False
+        self.reactor.remove_reader(self.connection.fileno())
+        self.reactor.remove_reader(self._stdin_fd)
         self.connection.close()

@@ -92,7 +92,13 @@ class PtyHost:
                 self._proc.wait(timeout=2)
             except subprocess.TimeoutExpired:
                 self._proc.kill()
-        try:
-            os.close(self._master)
-        except OSError:
-            pass
+        # Invalidate before closing: terminate() may run from both the
+        # serving thread and the owner (ServerApp.run's finally plus an
+        # explicit shutdown), and a second os.close() on a reused fd
+        # number would close someone else's descriptor.
+        master, self._master = self._master, -1
+        if master >= 0:
+            try:
+                os.close(master)
+            except OSError:
+                pass

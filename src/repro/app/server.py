@@ -4,25 +4,25 @@ Bootstrapping follows §2.1: the server is started by ordinary means (in
 real deployments, over SSH), binds a high UDP port, prints
 ``MOSH CONNECT <port> <key>`` on stdout, and thereafter speaks only
 encrypted SSP. No privileged code anywhere.
+
+All session logic — user-event processing, echo-ack scheduling, tick
+pacing — lives in :class:`~repro.session.core.ServerCore`; this module
+binds that core to a :class:`~repro.runtime.RealReactor` whose select()
+loop watches the UDP socket and the pty.
 """
 
 from __future__ import annotations
 
-import select
-
 from repro.app.pty_host import PtyHost
-from repro.clock import RealClock
 from repro.crypto.keys import Base64Key
 from repro.crypto.session import Session
-from repro.input.events import Resize, UserBytes
-from repro.input.userstream import UserStream
 from repro.network.connection import UdpConnection
-from repro.terminal.complete import Complete
-from repro.transport.transport import Transport
+from repro.runtime.reactor import RealReactor
+from repro.session.core import ServerCore
 
 
 class ServerApp:
-    """Event loop binding a pty to an SSP server endpoint."""
+    """Reactor shell binding a pty to an SSP server core."""
 
     def __init__(
         self,
@@ -37,14 +37,19 @@ class ServerApp:
         self.connection = UdpConnection(
             Session(self.key), is_server=True, bind_host=bind_host, port=port
         )
-        self.terminal = Complete(width, height)
-        self.transport: Transport[Complete, UserStream] = Transport(
-            self.connection, self.terminal, UserStream()
-        )
+        self.reactor = RealReactor()
+        self.core = ServerCore(self.reactor, self.connection, width, height)
+        self.terminal = self.core.terminal
+        self.transport = self.core.transport
         self.pty = PtyHost(argv, width, height)
-        self._clock = RealClock()
-        self._processed_events = 0
+        self.core.on_input = self.pty.write
+        self.core.on_resize = self.pty.set_size
+        self.reactor.add_reader(self.connection.fileno(), self._socket_readable)
+        self.reactor.add_reader(self.pty.fileno(), self._pty_readable)
         self.running = False
+        # Arm the pump's self-scheduling timer (no datagrams go out until
+        # the first authentic client packet reveals the remote address).
+        self.core.kick()
 
     def connect_line(self) -> str:
         """The out-of-band bootstrap line, like mosh-server prints."""
@@ -52,62 +57,34 @@ class ServerApp:
 
     # ------------------------------------------------------------------
 
-    def _handle_user_events(self, now: float) -> None:
-        stream = self.transport.remote_state
-        events = stream.events_since(self._processed_events)
-        for offset, event in enumerate(events, start=self._processed_events + 1):
-            if isinstance(event, UserBytes):
-                self.terminal.register_input(offset, now)
-                self.pty.write(event.data)
-            elif isinstance(event, Resize):
-                self.terminal.resize(event.cols, event.rows)
-                self.pty.set_size(event.cols, event.rows)
-        self._processed_events = stream.total_count
+    def _socket_readable(self) -> None:
+        # Draining the socket fires the endpoint's on_datagram hook, which
+        # kicks the core's transport pump; user events flow through
+        # ServerCore.handle_user_events.
+        self.connection.receive_ready()
 
-    def _pump_pty(self) -> bool:
+    def _pty_readable(self) -> None:
         data = self.pty.read_available()
         if data:
-            self.terminal.act(data)
-            replies = self.terminal.drain_terminal_replies()
+            replies = self.core.host_write(data)
             if replies:
                 self.pty.write(replies)
-            return True
-        return False
 
     def step(self, timeout_ms: float = 20.0) -> None:
         """One select()-driven iteration of the server loop."""
-        now = self._clock.now()
-        wait = self.transport.wait_time(now)
-        echo_due = self.terminal.next_echo_ack_time()
-        if echo_due is not None:
-            wait = min(wait, echo_due - now) if wait is not None else echo_due - now
-        if wait is None:
-            wait = timeout_ms
-        wait = max(0.0, min(wait, timeout_ms))
-        readable, _, _ = select.select(
-            [self.connection.fileno(), self.pty.fileno()], [], [], wait / 1000.0
-        )
-        now = self._clock.now()
-        if self.connection.fileno() in readable:
-            if self.connection.receive_ready():
-                self.transport.tick(now)
-                self._handle_user_events(now)
-        if self.pty.fileno() in readable:
-            self._pump_pty()
-        self.terminal.set_echo_ack(self._clock.now())
-        self.transport.tick(self._clock.now())
+        self.reactor.run_once(timeout_ms)
 
     def run(self, idle_exit_ms: float | None = None) -> None:
         """Serve until the child exits (or the idle deadline passes)."""
         self.running = True
-        started = self._clock.now()
+        started = self.reactor.now()
         try:
             while self.running and self.pty.alive():
                 self.step()
                 if (
                     idle_exit_ms is not None
                     and self.connection.last_heard is None
-                    and self._clock.now() - started > idle_exit_ms
+                    and self.reactor.now() - started > idle_exit_ms
                 ):
                     break
         finally:
@@ -115,5 +92,7 @@ class ServerApp:
 
     def shutdown(self) -> None:
         self.running = False
+        self.reactor.remove_reader(self.connection.fileno())
+        self.reactor.remove_reader(self.pty.fileno())
         self.pty.terminate()
         self.connection.close()

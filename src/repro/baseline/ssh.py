@@ -25,7 +25,7 @@ from typing import Callable
 from repro.simnet.eventloop import EventLoop
 from repro.simnet.host import SimNetwork
 from repro.simnet.link import LinkConfig
-from repro.simnet.tcp import TcpConfig, TcpEndpoint, tcp_pair
+from repro.simnet.tcp import TcpConfig, tcp_pair
 from repro.terminal.emulator import Emulator
 
 

@@ -47,5 +47,9 @@ class SimulationError(ReproError):
     """The network simulator was configured or driven incorrectly."""
 
 
+class ReactorError(ReproError):
+    """A reactor was driven incorrectly (bad timer, unsupported source)."""
+
+
 class TraceError(ReproError):
     """A keystroke trace is malformed or cannot be replayed."""

@@ -31,6 +31,10 @@ from repro.network.packet import (
 )
 from repro.network.rtt import RttEstimator
 
+#: Conservative round-trip estimate used until the first RTT sample lands
+#: (matches RFC 6298's initial RTO of one second).
+DEFAULT_SRTT_MS = 1000.0
+
 
 class DatagramEndpoint(ABC):
     """One end of an SSP datagram-layer connection."""
@@ -56,6 +60,11 @@ class DatagramEndpoint(ABC):
         self._last_heard: float | None = None
         self._remote_addr: Any = None
         self._received_payloads: list[bytes] = []
+        # Traffic counters (sealed datagrams), surfaced in reactor metrics.
+        self.datagrams_sent = 0
+        self.bytes_sent = 0
+        self.datagrams_received = 0
+        self.bytes_received = 0
         #: Called after each authentic datagram is queued (event loops use
         #: this to tick the transport immediately instead of polling).
         self.on_datagram: Callable[[float], None] | None = None
@@ -80,6 +89,8 @@ class DatagramEndpoint(ABC):
         raw = self._session.encrypt(
             Message(nonce=packet.nonce, text=packet.to_plaintext())
         )
+        self.datagrams_sent += 1
+        self.bytes_sent += len(raw)
         self._transmit(raw, now)
 
     def _new_packet(self, payload: bytes, now: float) -> Packet:
@@ -138,6 +149,8 @@ class DatagramEndpoint(ABC):
             # Ignore absurd samples caused by 16-bit wrap on idle links.
             if sample < 60000:
                 self._rtt.observe(float(sample))
+        self.datagrams_received += 1
+        self.bytes_received += len(raw)
         self._received_payloads.append(packet.payload)
         if self.on_datagram is not None:
             self.on_datagram(now)
@@ -171,6 +184,14 @@ class DatagramEndpoint(ABC):
     @property
     def has_rtt_sample(self) -> bool:
         return self._rtt.have_sample
+
+    def srtt_estimate(self) -> float:
+        """SRTT once a sample exists, else the conservative 1 s default.
+
+        The single home of the "srtt or 1000 ms" fallback that session
+        cores feed to the prediction engine.
+        """
+        return self._rtt.srtt if self._rtt.have_sample else DEFAULT_SRTT_MS
 
     def rto(self) -> float:
         """Current retransmission timeout, milliseconds."""

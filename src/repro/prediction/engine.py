@@ -26,7 +26,7 @@ repeated slow confirmations.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.terminal.cell import Cell
 from repro.terminal.framebuffer import Framebuffer

@@ -1,0 +1,58 @@
+"""The transport pump: SSP tick pacing as reactor timers.
+
+Mosh's select() loop body is "tick the transport, then sleep until its
+next deadline". :class:`TransportPump` expresses that as a self-rescheduling
+reactor timer, and kicks immediately whenever the endpoint reports an
+authentic datagram — so both the simulated and the real paths are
+timer-driven through identical code.
+"""
+
+from __future__ import annotations
+
+from repro.runtime.reactor import Reactor, TimerHandle
+from repro.transport.transport import Transport
+
+#: Never sleep longer than this between ticks; a safety net matching the
+#: transport's 3 s heartbeat interval.
+MAX_TICK_DELAY_MS = 3000.0
+
+#: Floor on the re-arm delay so a confused timer can never pin a simulated
+#: clock in place (defense in depth; a due tick should always progress).
+MIN_TICK_DELAY_MS = 0.5
+
+
+class TransportPump:
+    """Self-scheduling pump binding one :class:`Transport` to a reactor."""
+
+    def __init__(self, reactor: Reactor, transport: Transport) -> None:
+        self._reactor = reactor
+        self._transport = transport
+        self._timer: TimerHandle | None = None
+        self._sent_seen = transport.endpoint.datagrams_sent
+        inner = transport.endpoint.on_datagram
+
+        def on_datagram(now: float) -> None:
+            reactor.metrics.datagrams_in += 1
+            if inner is not None:
+                inner(now)
+            self.kick()
+
+        transport.endpoint.on_datagram = on_datagram
+
+    def kick(self) -> None:
+        """Tick the transport now and re-arm from its next deadline."""
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+        now = self._reactor.now()
+        self._transport.tick(now)
+        metrics = self._reactor.metrics
+        metrics.ticks += 1
+        sent = self._transport.endpoint.datagrams_sent
+        metrics.datagrams_out += sent - self._sent_seen
+        self._sent_seen = sent
+        wait = self._transport.wait_time(now)
+        delay = MAX_TICK_DELAY_MS if wait is None else min(wait, MAX_TICK_DELAY_MS)
+        self._timer = self._reactor.call_later(
+            max(delay, MIN_TICK_DELAY_MS), self.kick
+        )

@@ -1,0 +1,288 @@
+"""Reactors: timers + I/O readiness + metrics, simulated or real.
+
+A reactor is the runtime's notion of "the select() loop": it owns a clock,
+a timer heap with cheap cancellation (lazy deletion — ``cancel`` is O(1),
+the heap pop that skims dead entries is O(log n) amortized), optional
+file-descriptor readiness sources, and a :class:`ReactorMetrics` block of
+counters that dashboards and tests can read.
+
+Session cores (:mod:`repro.session.core`) are written against the abstract
+:class:`Reactor` only; whether time is simulated or real is decided by the
+shell that assembles the session.
+"""
+
+from __future__ import annotations
+
+import heapq
+import select
+from abc import ABC, abstractmethod
+from typing import Callable
+
+from repro.clock import Clock, RealClock
+from repro.errors import ReactorError
+from repro.simnet.eventloop import EventLoop
+
+Callback = Callable[[], None]
+
+
+class ReactorMetrics:
+    """Per-reactor counters, cheap enough to always keep on."""
+
+    __slots__ = (
+        "ticks",
+        "datagrams_in",
+        "datagrams_out",
+        "timers_fired",
+        "timers_cancelled",
+        "timer_lag_total_ms",
+        "timer_lag_max_ms",
+        "io_events",
+        "frames_rendered",
+    )
+
+    def __init__(self) -> None:
+        #: Transport ticks pumped through this reactor.
+        self.ticks = 0
+        #: Authentic datagrams delivered to / sent by endpoints on this reactor.
+        self.datagrams_in = 0
+        self.datagrams_out = 0
+        #: Timer callbacks run, timers cancelled while still pending.
+        self.timers_fired = 0
+        self.timers_cancelled = 0
+        #: Lateness of timer callbacks (fire time minus scheduled time).
+        self.timer_lag_total_ms = 0.0
+        self.timer_lag_max_ms = 0.0
+        #: File-descriptor readiness callbacks dispatched (real reactor only).
+        self.io_events = 0
+        #: Distinct frames presented to the user (display actually changed).
+        self.frames_rendered = 0
+
+    @property
+    def timer_lag_avg_ms(self) -> float:
+        if self.timers_fired == 0:
+            return 0.0
+        return self.timer_lag_total_ms / self.timers_fired
+
+    def note_timer_fired(self, lag_ms: float) -> None:
+        self.timers_fired += 1
+        self.timer_lag_total_ms += lag_ms
+        if lag_ms > self.timer_lag_max_ms:
+            self.timer_lag_max_ms = lag_ms
+
+    def snapshot(self) -> dict[str, float]:
+        """A plain-dict view for dashboards and logs."""
+        return {
+            "ticks": self.ticks,
+            "datagrams_in": self.datagrams_in,
+            "datagrams_out": self.datagrams_out,
+            "timers_fired": self.timers_fired,
+            "timers_cancelled": self.timers_cancelled,
+            "timer_lag_avg_ms": round(self.timer_lag_avg_ms, 3),
+            "timer_lag_max_ms": round(self.timer_lag_max_ms, 3),
+            "io_events": self.io_events,
+            "frames_rendered": self.frames_rendered,
+        }
+
+
+class TimerHandle:
+    """A scheduled callback; ``cancel()`` is always safe to call."""
+
+    __slots__ = ("_canceller", "fired", "cancelled")
+
+    def __init__(self, canceller: Callback) -> None:
+        self._canceller = canceller
+        self.fired = False
+        self.cancelled = False
+
+    @property
+    def active(self) -> bool:
+        return not (self.fired or self.cancelled)
+
+    def cancel(self) -> None:
+        """Withdraw the timer; a no-op once it has fired or been cancelled."""
+        if not self.active:
+            return
+        self.cancelled = True
+        self._canceller()
+
+
+class Reactor(ABC):
+    """Timers + I/O sources + metrics over some notion of time."""
+
+    def __init__(self) -> None:
+        self.metrics = ReactorMetrics()
+
+    @abstractmethod
+    def now(self) -> float:
+        """Current time in milliseconds."""
+
+    @abstractmethod
+    def call_at(self, when_ms: float, callback: Callback) -> TimerHandle:
+        """Run ``callback`` at absolute time ``when_ms``."""
+
+    def call_later(self, delay_ms: float, callback: Callback) -> TimerHandle:
+        """Run ``callback`` after ``delay_ms`` (clamped to be non-negative)."""
+        return self.call_at(self.now() + max(0.0, delay_ms), callback)
+
+    def add_reader(self, fd: int, callback: Callback) -> None:
+        """Invoke ``callback`` whenever ``fd`` is readable."""
+        raise ReactorError(f"{type(self).__name__} has no I/O sources")
+
+    def remove_reader(self, fd: int) -> None:
+        raise ReactorError(f"{type(self).__name__} has no I/O sources")
+
+    @abstractmethod
+    def run_for(self, duration_ms: float) -> None:
+        """Run the loop for ``duration_ms`` of this reactor's time."""
+
+
+class SimReactor(Reactor):
+    """Reactor over the deterministic discrete-event :class:`EventLoop`.
+
+    Simulated endpoints deliver datagrams through callbacks rather than
+    file descriptors, so ``add_reader`` is unsupported here; everything
+    else — timers, metrics, pacing — behaves exactly like the real one,
+    with zero timer lag by construction.
+    """
+
+    def __init__(self, loop: EventLoop | None = None) -> None:
+        super().__init__()
+        self.loop = loop if loop is not None else EventLoop()
+
+    def now(self) -> float:
+        """Current simulated time in milliseconds."""
+        return self.loop.now()
+
+    def call_at(self, when_ms: float, callback: Callback) -> TimerHandle:
+        """Schedule ``callback`` on the simulated event loop."""
+        token_box: list[int] = []
+        handle = TimerHandle(lambda: self._cancel(token_box[0]))
+
+        def fire() -> None:
+            handle.fired = True
+            self.metrics.note_timer_fired(max(0.0, self.now() - when_ms))
+            callback()
+
+        token_box.append(self.loop.schedule_at(when_ms, fire))
+        return handle
+
+    def _cancel(self, token: int) -> None:
+        self.loop.cancel(token)
+        self.metrics.timers_cancelled += 1
+
+    def run_for(self, duration_ms: float) -> None:
+        """Advance simulated time by ``duration_ms``, firing due events."""
+        self.loop.run_for(duration_ms)
+
+    def run_until(self, when_ms: float) -> None:
+        """Advance simulated time to the absolute ``when_ms``."""
+        self.loop.run_until(when_ms)
+
+
+class RealReactor(Reactor):
+    """A ``select()`` loop over real file descriptors and wall-clock time.
+
+    This is the paper's "single select() loop": each iteration sleeps
+    until the earliest pending timer (capped by ``max_wait_ms``), wakes
+    for readable descriptors, dispatches their callbacks, then fires every
+    due timer. Cancelled timers are skimmed off the heap lazily.
+    """
+
+    def __init__(self, clock: Clock | None = None) -> None:
+        super().__init__()
+        self._clock = clock if clock is not None else RealClock()
+        self._heap: list[tuple[float, int, Callback, TimerHandle]] = []
+        self._counter = 0
+        self._live: set[int] = set()
+        self._readers: dict[int, Callback] = {}
+
+    def now(self) -> float:
+        """Current wall-clock time in milliseconds (monotonic)."""
+        return self._clock.now()
+
+    # -- timers ---------------------------------------------------------
+
+    def call_at(self, when_ms: float, callback: Callback) -> TimerHandle:
+        """Schedule ``callback`` at absolute wall-clock time ``when_ms``."""
+        token = self._counter
+        self._counter += 1
+        handle = TimerHandle(lambda: self._cancel(token))
+        heapq.heappush(self._heap, (when_ms, token, callback, handle))
+        self._live.add(token)
+        return handle
+
+    def _cancel(self, token: int) -> None:
+        self._live.discard(token)
+        self.metrics.timers_cancelled += 1
+
+    def _next_deadline(self) -> float | None:
+        while self._heap and self._heap[0][1] not in self._live:
+            heapq.heappop(self._heap)
+        if not self._heap:
+            return None
+        return self._heap[0][0]
+
+    def _fire_due(self) -> None:
+        while True:
+            deadline = self._next_deadline()
+            if deadline is None or deadline > self.now():
+                return
+            when, token, callback, handle = heapq.heappop(self._heap)
+            self._live.discard(token)
+            handle.fired = True
+            self.metrics.note_timer_fired(max(0.0, self.now() - when))
+            callback()
+
+    # -- I/O sources ----------------------------------------------------
+
+    def add_reader(self, fd: int, callback: Callback) -> None:
+        """Invoke ``callback`` whenever ``fd`` selects readable."""
+        self._readers[fd] = callback
+
+    def remove_reader(self, fd: int) -> None:
+        """Stop watching ``fd`` (no-op if it was never registered)."""
+        self._readers.pop(fd, None)
+
+    # -- loop -----------------------------------------------------------
+
+    def run_once(self, max_wait_ms: float = 20.0) -> None:
+        """One select()-loop iteration: sleep, dispatch I/O, fire timers."""
+        deadline = self._next_deadline()
+        wait = max_wait_ms
+        if deadline is not None:
+            wait = min(wait, deadline - self.now())
+        wait = max(0.0, wait)
+        try:
+            readable, _, _ = select.select(
+                list(self._readers), [], [], wait / 1000.0
+            )
+        except (OSError, ValueError):
+            # A registered descriptor was closed under us; drop the dead
+            # ones and let the caller's next iteration proceed.
+            readable = []
+            self._readers = {
+                fd: cb for fd, cb in self._readers.items() if _fd_alive(fd)
+            }
+        for fd in readable:
+            callback = self._readers.get(fd)
+            if callback is not None:
+                self.metrics.io_events += 1
+                callback()
+        self._fire_due()
+
+    def run_for(self, duration_ms: float, max_wait_ms: float = 20.0) -> None:
+        """Run select()-loop iterations for ``duration_ms`` of wall time."""
+        deadline = self.now() + duration_ms
+        while True:
+            remaining = deadline - self.now()
+            if remaining <= 0:
+                return
+            self.run_once(min(max_wait_ms, remaining))
+
+
+def _fd_alive(fd: int) -> bool:
+    try:
+        select.select([fd], [], [], 0)
+        return True
+    except (OSError, ValueError):
+        return False

@@ -1,10 +1,19 @@
 """Complete Mosh sessions: client + server wired over a network.
 
+:mod:`repro.session.core` holds the endpoint-agnostic session logic
+(user-event processing, echo-ack scheduling, prediction wiring);
 :mod:`repro.session.inprocess` assembles the whole system inside the
 deterministic simulator — the configuration every experiment runs on.
 The real-UDP/pty equivalent lives in :mod:`repro.app`.
 """
 
+from repro.session.core import ClientCore, ServerCore
 from repro.session.inprocess import InProcessSession, MoshClient, MoshServer
 
-__all__ = ["InProcessSession", "MoshClient", "MoshServer"]
+__all__ = [
+    "ClientCore",
+    "InProcessSession",
+    "MoshClient",
+    "MoshServer",
+    "ServerCore",
+]

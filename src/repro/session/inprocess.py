@@ -6,58 +6,28 @@ the client mirrors them the other way and layers the prediction engine on
 top. Host applications attach to the server through a simple callback:
 whatever bytes the "application" writes go through ``server.host_write``.
 
-Both ends self-schedule their transport ticks on the event loop: a tick is
-re-armed from ``Transport.wait_time`` and kicked immediately whenever a
-datagram arrives, mirroring Mosh's select() loop.
+All session logic lives in the endpoint-agnostic cores
+(:mod:`repro.session.core`); this module merely binds them to a
+:class:`~repro.runtime.SimReactor` so the whole system runs deterministically
+on the simulated clock. The real-UDP equivalent (:mod:`repro.app`) binds
+the same cores to a :class:`~repro.runtime.RealReactor`.
 """
 
 from __future__ import annotations
 
-from typing import Callable
-
 from repro.crypto.keys import Base64Key
 from repro.crypto.session import NullSession, Session
-from repro.input.events import Resize, UserBytes
-from repro.input.userstream import UserStream
-from repro.prediction.engine import DisplayPreference, PredictionEngine
-from repro.prediction.overlays import NotificationEngine
+from repro.prediction.engine import DisplayPreference
+from repro.runtime.reactor import SimReactor
+from repro.session.core import ClientCore, ServerCore
 from repro.simnet.eventloop import EventLoop
 from repro.simnet.host import SimNetwork, SimUdpEndpoint
 from repro.simnet.link import LinkConfig
-from repro.terminal.complete import Complete
-from repro.terminal.framebuffer import Framebuffer
 from repro.transport.timing import SenderTiming
-from repro.transport.transport import Transport
-
-_MAX_TICK_DELAY_MS = 3000.0
 
 
-class _Ticker:
-    """Self-scheduling transport pump on the event loop."""
-
-    def __init__(self, loop: EventLoop, transport: Transport) -> None:
-        self._loop = loop
-        self._transport = transport
-        self._token: int | None = None
-        transport.endpoint.on_datagram = lambda now: self.kick()
-
-    def kick(self) -> None:
-        """Run a tick now and re-arm the timer."""
-        if self._token is not None:
-            self._loop.cancel(self._token)
-            self._token = None
-        now = self._loop.now()
-        self._transport.tick(now)
-        wait = self._transport.wait_time(now)
-        delay = _MAX_TICK_DELAY_MS if wait is None else min(wait, _MAX_TICK_DELAY_MS)
-        # Floor the re-arm delay so a confused timer can never pin the
-        # simulated clock in place (defense in depth; the transport should
-        # always make progress on a due tick).
-        self._token = self._loop.schedule(max(delay, 0.5), self.kick)
-
-
-class MoshServer:
-    """Server side: authoritative terminal, echo acks, app plumbing."""
+class MoshServer(ServerCore):
+    """Server side on the simulator: a :class:`ServerCore` on a SimReactor."""
 
     def __init__(
         self,
@@ -66,93 +36,24 @@ class MoshServer:
         width: int = 80,
         height: int = 24,
         timing: SenderTiming | None = None,
+        reactor: SimReactor | None = None,
     ) -> None:
-        self.loop = loop
-        self.terminal = Complete(width, height)
-        self.transport: Transport[Complete, UserStream] = Transport(
-            endpoint, self.terminal, UserStream(), timing
+        super().__init__(
+            reactor if reactor is not None else SimReactor(loop),
+            endpoint,
+            width,
+            height,
+            timing,
+            record_send_log=True,
         )
-        self.transport.on_remote_state = self._on_user_input
-        self._ticker = _Ticker(loop, self.transport)
-        self._processed_events = 0
-        self._echo_token: int | None = None
-        #: Application hook: receives raw user bytes.
-        self.on_input: Callable[[bytes], None] | None = None
-        #: Resize hook (e.g. to SIGWINCH a pty).
-        self.on_resize: Callable[[int, int], None] | None = None
-        # Instrumentation: (write time, bytes, send time or None)
-        self.write_log: list[list[float | int | None]] = []
-        self.record_write_log = False
-        self.transport.sender.record_send_log = True
-
-    # ------------------------------------------------------------------
-
-    def _on_user_input(self, now: float) -> None:
-        stream = self.transport.remote_state
-        events = stream.events_since(self._processed_events)
-        for offset, event in enumerate(events, start=self._processed_events + 1):
-            if isinstance(event, UserBytes):
-                self.terminal.register_input(offset, now)
-                if self.on_input is not None:
-                    self.on_input(event.data)
-            elif isinstance(event, Resize):
-                self.terminal.resize(event.cols, event.rows)
-                if self.on_resize is not None:
-                    self.on_resize(event.cols, event.rows)
-        self._processed_events = stream.total_count
-        self._arm_echo_ack()
-        self._ticker.kick()
-
-    def _arm_echo_ack(self) -> None:
-        when = self.terminal.next_echo_ack_time()
-        if when is None:
-            return
-        if self._echo_token is not None:
-            self.loop.cancel(self._echo_token)
-        delay = max(0.0, when - self.loop.now())
-        self._echo_token = self.loop.schedule(delay, self._echo_ack_due)
-
-    def _echo_ack_due(self) -> None:
-        self._echo_token = None
-        if self.terminal.set_echo_ack(self.loop.now()):
-            self._ticker.kick()
-        self._arm_echo_ack()
-
-    # ------------------------------------------------------------------
-
-    def host_write(self, data: bytes) -> None:
-        """The application wrote to its pty: update the terminal, and note
-        the write time for the Figure 3 instrumentation."""
-        now = self.loop.now()
-        self.terminal.act(data)
-        if self.record_write_log:
-            self.write_log.append([now, len(data), None])
-        self._ticker.kick()
+        self.loop = loop
 
     def pump(self) -> None:
-        self._ticker.kick()
-
-    def resolve_write_log(self) -> list[tuple[float, int, float]]:
-        """Match logged writes to the send that shipped them.
-
-        Returns (write_time, byte_count, protocol_delay_ms) tuples; the
-        delay is what the paper's Figure 3 calls "protocol-induced delay".
-        """
-        sends = self.transport.sender.send_log
-        out: list[tuple[float, int, float]] = []
-        send_idx = 0
-        for write_time, nbytes, _ in self.write_log:
-            while send_idx < len(sends) and sends[send_idx][0] < write_time:
-                send_idx += 1
-            if send_idx < len(sends):
-                out.append(
-                    (float(write_time), int(nbytes), sends[send_idx][0] - write_time)
-                )
-        return out
+        self.kick()
 
 
-class MoshClient:
-    """Client side: mirrors the terminal, predicts, renders."""
+class MoshClient(ClientCore):
+    """Client side on the simulator: a :class:`ClientCore` on a SimReactor."""
 
     def __init__(
         self,
@@ -162,95 +63,24 @@ class MoshClient:
         height: int = 24,
         timing: SenderTiming | None = None,
         preference: DisplayPreference = DisplayPreference.ADAPTIVE,
+        reactor: SimReactor | None = None,
     ) -> None:
-        self.loop = loop
-        self.transport: Transport[UserStream, Complete] = Transport(
-            endpoint, UserStream(), Complete(width, height), timing
+        super().__init__(
+            reactor if reactor is not None else SimReactor(loop),
+            endpoint,
+            width,
+            height,
+            timing,
+            preference,
         )
-        self.transport.on_remote_state = self._on_new_frame
-        self._ticker = _Ticker(loop, self.transport)
-        self.predictor = PredictionEngine(preference)
-        self.notifications = NotificationEngine()
-        endpoint.on_datagram = self._wrap_on_datagram(endpoint.on_datagram)
-        #: Display-change subscribers (the latency-measurement harness).
-        self.on_display_change: Callable[[float], None] | None = None
-        self._last_display: Framebuffer | None = None
-
-    def _wrap_on_datagram(self, inner):
-        def hook(now: float) -> None:
-            self.notifications.server_heard(now)
-            if inner is not None:
-                inner(now)
-
-        return hook
-
-    # ------------------------------------------------------------------
-
-    @property
-    def remote_terminal(self) -> Complete:
-        return self.transport.remote_state
-
-    def display(self) -> Framebuffer:
-        """What the user sees: authoritative frame + predictions + any
-        connectivity warning bar."""
-        shown = self.predictor.apply(self.remote_terminal.fb)
-        return self.notifications.apply(shown, self.loop.now())
-
-    def _srtt(self) -> float:
-        ep = self.transport.endpoint
-        return ep.srtt if ep.has_rtt_sample else 1000.0
-
-    def _on_new_frame(self, now: float) -> None:
-        state = self.remote_terminal
-        self.predictor.report_frame(state.fb, state.echo_ack, now, self._srtt())
-        self._note_display(now)
-
-    def _note_display(self, now: float) -> None:
-        shown = self.display()
-        if self._last_display is None or not self._frames_equal(
-            self._last_display, shown
-        ):
-            self._last_display = shown if shown is not self.remote_terminal.fb else shown.copy()
-            if self.on_display_change is not None:
-                self.on_display_change(now)
-
-    @staticmethod
-    def _frames_equal(a: Framebuffer, b: Framebuffer) -> bool:
-        return a == b
-
-    # ------------------------------------------------------------------
-
-    def type_bytes(self, data: bytes) -> list[bool]:
-        """Send keystrokes; returns per-byte 'displayed instantly' flags."""
-        now = self.loop.now()
-        stream = self.transport.local_state
-        flags: list[bool] = []
-        for byte in data:
-            stream.push_event(UserBytes(bytes([byte])))
-            flags.append(
-                self.predictor.new_user_byte(
-                    byte,
-                    self.remote_terminal.fb,
-                    now,
-                    stream.total_count,
-                    self._srtt(),
-                )
-            )
-        self._ticker.kick()
-        self._note_display(now)
-        return flags
-
-    def resize(self, cols: int, rows: int) -> None:
-        self.transport.local_state.push_event(Resize(cols=cols, rows=rows))
-        self.predictor.reset()
-        self._ticker.kick()
+        self.loop = loop
 
     def pump(self) -> None:
-        self._ticker.kick()
+        self.kick()
 
 
 class InProcessSession:
-    """Everything assembled: loop, links, endpoints, client, server."""
+    """Everything assembled: reactor, links, endpoints, client, server."""
 
     def __init__(
         self,
@@ -264,6 +94,7 @@ class InProcessSession:
         preference: DisplayPreference = DisplayPreference.ADAPTIVE,
     ) -> None:
         self.loop = EventLoop()
+        self.reactor = SimReactor(self.loop)
         self.network = SimNetwork(self.loop, uplink, downlink, seed=seed)
         key = Base64Key.new() if encrypt else None
         make = (lambda: Session(key)) if encrypt else (lambda: NullSession())
@@ -275,7 +106,8 @@ class InProcessSession:
         )
         self.client_endpoint.set_remote_addr("server")
         self.server = MoshServer(
-            self.loop, self.server_endpoint, width, height, timing
+            self.loop, self.server_endpoint, width, height, timing,
+            reactor=self.reactor,
         )
         self.client = MoshClient(
             self.loop,
@@ -284,6 +116,7 @@ class InProcessSession:
             height,
             timing,
             preference,
+            reactor=self.reactor,
         )
 
     def run_for(self, duration_ms: float) -> None:

@@ -22,7 +22,12 @@ class EventLoop:
         self.clock = SimulatedClock(start_ms)
         self._queue: list[tuple[float, int, Callback]] = []
         self._counter = 0
-        self._cancelled: set[int] = set()
+        # Tokens of queued events that have neither fired nor been
+        # cancelled. Cancellation is lazy (entries stay in the heap until
+        # popped), but membership here is the single source of truth, so
+        # cancelling an already-fired token is a true no-op and nothing
+        # accumulates unboundedly under heavy cancel/re-arm churn.
+        self._live: set[int] = set()
 
     def now(self) -> float:
         return self.clock.now()
@@ -37,6 +42,7 @@ class EventLoop:
         token = self._counter
         self._counter += 1
         heapq.heappush(self._queue, (when_ms, token, callback))
+        self._live.add(token)
         return token
 
     def schedule(self, delay_ms: float, callback: Callback) -> int:
@@ -47,27 +53,26 @@ class EventLoop:
 
     def cancel(self, token: int) -> None:
         """Cancel a scheduled event (no-op if it already fired)."""
-        self._cancelled.add(token)
+        self._live.discard(token)
 
     @property
     def pending(self) -> int:
-        """Number of events still queued (including cancelled ones)."""
-        return len(self._queue)
+        """Number of live (scheduled, uncancelled, unfired) events."""
+        return len(self._live)
 
     def peek_time(self) -> float | None:
         """Time of the next live event, or None if the queue is empty."""
-        while self._queue and self._queue[0][1] in self._cancelled:
-            _, token, _ = heapq.heappop(self._queue)
-            self._cancelled.discard(token)
+        while self._queue and self._queue[0][1] not in self._live:
+            heapq.heappop(self._queue)
         if not self._queue:
             return None
         return self._queue[0][0]
 
     def _pop_and_run(self) -> None:
         when, token, callback = heapq.heappop(self._queue)
-        if token in self._cancelled:
-            self._cancelled.discard(token)
+        if token not in self._live:
             return
+        self._live.discard(token)
         self.clock.advance_to(when)
         callback()
 

@@ -88,8 +88,6 @@ class SimUdpEndpoint(DatagramEndpoint):
         self._side = SERVER_SIDE if is_server else CLIENT_SIDE
         self._local_addr = local_addr
         network.register(local_addr, self)
-        self.datagrams_sent = 0
-        self.bytes_sent = 0
 
     @property
     def local_addr(self) -> str:
@@ -108,8 +106,6 @@ class SimUdpEndpoint(DatagramEndpoint):
         self._network.register(new_addr, self)
 
     def _transmit(self, raw: bytes, now: float) -> None:
-        self.datagrams_sent += 1
-        self.bytes_sent += len(raw)
         self._network.send_datagram(
             self._side, self._local_addr, str(self._remote_addr), raw
         )

@@ -21,7 +21,7 @@ bufferbloat experiment).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable
 
 from repro.network.rtt import RttEstimator

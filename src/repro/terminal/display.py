@@ -17,7 +17,6 @@ desynchronize a client that was content-equal to ``old``.
 
 from __future__ import annotations
 
-from repro.errors import TerminalError
 from repro.terminal.cell import Cell, Row
 from repro.terminal.framebuffer import Framebuffer
 from repro.terminal.renditions import DEFAULT_RENDITIONS, Renditions

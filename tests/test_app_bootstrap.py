@@ -66,7 +66,7 @@ class TestBootstrap:
             login_command=["sh", "-c"],
             server_command=(
                 f"{sys.executable} -c \"from repro.cli import server_main; "
-                f"server_main(['--bind', '127.0.0.1', '--', '/bin/sh'])\""
+                "server_main(['--bind', '127.0.0.1', '--', '/bin/sh'])\""
             ),
             timeout_s=20.0,
         )

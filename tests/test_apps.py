@@ -70,7 +70,7 @@ class TestEditor:
         app = EditorApp(Random(1))
         play(app, b"iab\x1b")
         before = (app.row, app.col)
-        play_more = app.handle_input(b"j")
+        app.handle_input(b"j")
         assert app.row == before[0] + 1 or app.row == before[0]
 
     def test_uses_alternate_screen(self):

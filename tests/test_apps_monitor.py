@@ -4,7 +4,7 @@ from random import Random
 
 from repro.apps.monitor import MonitorApp
 from repro.session import InProcessSession
-from repro.simnet import LinkConfig, evdo_profile
+from repro.simnet import evdo_profile
 from repro.terminal.emulator import Emulator
 
 

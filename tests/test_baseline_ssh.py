@@ -1,7 +1,7 @@
 """The SSH baseline model."""
 
 from repro.baseline.ssh import SshSession
-from repro.simnet import LinkConfig, lossy_profile
+from repro.simnet import LinkConfig
 
 
 def make_echo_session(delay=50.0, loss=0.0, seed=1) -> SshSession:

@@ -18,6 +18,7 @@ PUBLIC_MODULES = [
     "repro.input",
     "repro.network",
     "repro.prediction",
+    "repro.runtime",
     "repro.session",
     "repro.simnet",
     "repro.terminal",
@@ -72,6 +73,9 @@ class TestDocstrings:
             "repro.terminal.complete.Complete",
             "repro.prediction.engine.PredictionEngine",
             "repro.session.inprocess.InProcessSession",
+            "repro.session.core.ServerCore",
+            "repro.session.core.ClientCore",
+            "repro.runtime.reactor.RealReactor",
             "repro.simnet.tcp.TcpEndpoint",
             "repro.traces.replay.ReplayResult",
         ],

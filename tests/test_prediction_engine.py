@@ -1,6 +1,5 @@
 """The speculative-echo engine: epochs, confidence, validation, repair."""
 
-import pytest
 
 from repro.prediction.engine import (
     FLAG_TRIGGER_HIGH,
@@ -167,7 +166,7 @@ class TestBackspaceAndCr:
         server = Emulator(40, 8)
         server.write(b"ab")
         engine.new_user_byte(0x7F, server.fb, 0.0, 1, SLOW)
-        shown = engine.apply(server.fb)
+        engine.apply(server.fb)
         # engine is active (slow link) but epoch tentative: not drawn yet
         server.write(b"\x08 \x08")
         engine.report_frame(server.fb, echo_ack=1, now=50.0, srtt_ms=SLOW)

@@ -1,13 +1,9 @@
 """End-to-end sessions in the simulator: convergence, roaming, loss,
 interrupts — the paper's headline behaviours."""
 
-import pytest
 
-from repro.crypto.keys import Base64Key
-from repro.input.events import UserBytes
 from repro.session import InProcessSession
 from repro.simnet import LinkConfig, lossy_profile
-from repro.transport.timing import SenderTiming
 
 
 def echo_app(session):

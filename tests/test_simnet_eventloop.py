@@ -84,6 +84,44 @@ class TestCancellation:
         assert loop.peek_time() == 9.0
 
 
+class TestCancellationBookkeeping:
+    """pending counts live events only; cancel after fire leaves no residue."""
+
+    def test_pending_excludes_cancelled(self):
+        loop = EventLoop()
+        first = loop.schedule_at(10.0, lambda: None)
+        loop.schedule_at(20.0, lambda: None)
+        assert loop.pending == 2
+        loop.cancel(first)
+        assert loop.pending == 1
+        loop.run_until(30.0)
+        assert loop.pending == 0
+
+    def test_cancel_after_fire_leaves_no_residue(self):
+        loop = EventLoop()
+        tokens = [loop.schedule_at(float(i + 1), lambda: None) for i in range(5)]
+        loop.run_until(10.0)
+        for token in tokens:
+            loop.cancel(token)  # true no-op: the events already fired
+        assert loop.pending == 0
+        # A later event with a recycled-looking schedule still fires.
+        fired = []
+        loop.schedule(1.0, lambda: fired.append(1))
+        loop.run_for(5.0)
+        assert fired == [1]
+
+    def test_churn_does_not_accumulate_state(self):
+        """The _Ticker.kick pattern: schedule, fire, cancel stale token."""
+        loop = EventLoop()
+        for _ in range(1000):
+            token = loop.schedule(1.0, lambda: None)
+            loop.run_for(2.0)
+            loop.cancel(token)  # always after the fire
+        assert loop.pending == 0
+        assert len(loop._live) == 0
+        assert len(loop._queue) == 0
+
+
 class TestRunModes:
     def test_run_until_partial(self):
         loop = EventLoop()

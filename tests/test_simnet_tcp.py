@@ -2,7 +2,6 @@
 
 from random import Random
 
-import pytest
 
 from repro.simnet.eventloop import EventLoop
 from repro.simnet.link import Link, LinkConfig

@@ -1,6 +1,5 @@
 """Tests for repro.analysis.stats."""
 
-import math
 
 import pytest
 from hypothesis import given

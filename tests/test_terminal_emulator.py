@@ -1,6 +1,5 @@
 """Emulator semantics: cursor, erase, scroll, SGR, modes, wide chars."""
 
-import pytest
 
 from repro.terminal.emulator import Emulator
 from repro.terminal.renditions import DEFAULT_RENDITIONS, indexed_color, rgb_color

@@ -1,6 +1,5 @@
 """Transport sender/receiver over a scriptable in-memory endpoint."""
 
-import pytest
 
 from repro.input.events import UserBytes
 from repro.input.userstream import UserStream
