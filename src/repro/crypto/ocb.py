@@ -13,6 +13,7 @@ pure-Python hot path to a few arithmetic operations per block.
 from __future__ import annotations
 
 import hmac
+from collections import OrderedDict
 
 from repro.crypto.aes import AES128, BLOCK_SIZE
 from repro.errors import AuthenticationError, CryptoError
@@ -35,6 +36,37 @@ def _ntz(i: int) -> int:
     return (i & -i).bit_length() - 1
 
 
+#: Per-key schedule cache: AES round keys plus the OCB offset L-table are
+#: pure functions of the key, and one session key seals every datagram of
+#: a connection, so ciphers constructed for the same key (reconnects,
+#: per-direction endpoints, tests) share one schedule instead of
+#: recomputing it.
+_SCHEDULE_CACHE: OrderedDict[bytes, tuple[AES128, int, int, tuple[int, ...]]] = (
+    OrderedDict()
+)
+_SCHEDULE_CACHE_MAX = 64
+
+
+def _key_schedule(key: bytes) -> tuple[AES128, int, int, tuple[int, ...]]:
+    """(AES, L_*, L_$, L[0..63]) for ``key``, cached per key."""
+    cached = _SCHEDULE_CACHE.get(key)
+    if cached is not None:
+        _SCHEDULE_CACHE.move_to_end(key)
+        return cached
+    aes = AES128(key)
+    l_star = int.from_bytes(aes.encrypt_block(bytes(BLOCK_SIZE)), "big")
+    l_dollar = _double(l_star)
+    # Precompute L[0..63]; ntz(i) for any realistic message length fits.
+    table = [_double(l_dollar)]
+    for _ in range(63):
+        table.append(_double(table[-1]))
+    entry = (aes, l_star, l_dollar, tuple(table))
+    _SCHEDULE_CACHE[key] = entry
+    if len(_SCHEDULE_CACHE) > _SCHEDULE_CACHE_MAX:
+        _SCHEDULE_CACHE.popitem(last=False)
+    return entry
+
+
 class OCBCipher:
     """AES-128-OCB with a 128-bit tag.
 
@@ -43,15 +75,9 @@ class OCBCipher:
     """
 
     def __init__(self, key: bytes) -> None:
-        self._aes = AES128(key)
-        l_star = int.from_bytes(self._aes.encrypt_block(bytes(BLOCK_SIZE)), "big")
-        self._l_star = l_star
-        self._l_dollar = _double(l_star)
-        # Precompute L[0..63]; ntz(i) for any realistic message length fits.
-        table = [_double(self._l_dollar)]
-        for _ in range(63):
-            table.append(_double(table[-1]))
-        self._l_table = table
+        self._aes, self._l_star, self._l_dollar, self._l_table = _key_schedule(
+            bytes(key)
+        )
         self._ktop_cache: tuple[bytes, int] | None = None
 
     def _enc(self, block_int: int) -> int:

@@ -69,7 +69,9 @@ class NotificationEngine:
         if text is None:
             return fb
         shown = fb.copy()
-        row = shown.rows[0]
+        # writable_row, not rows[0]: the copy shares rows with the live
+        # framebuffer until one of them writes (COW).
+        row = shown.writable_row(0)
         bar = f" {text} ".ljust(shown.width)[: shown.width]
         for col, ch in enumerate(bar):
             row.cells[col] = Cell(contents=ch, renditions=_BAR_RENDITIONS)

@@ -127,7 +127,9 @@ class ServerCore:
         Returns (write_time, byte_count, protocol_delay_ms) tuples; the
         delay is what the paper's Figure 3 calls "protocol-induced delay".
         """
-        sends = self.transport.sender.send_log
+        # The send log is a ring buffer (deque); materialize it so the
+        # index-based merge below stays O(n).
+        sends = list(self.transport.sender.send_log)
         out: list[tuple[float, int, float]] = []
         send_idx = 0
         for write_time, nbytes, _ in self.write_log:

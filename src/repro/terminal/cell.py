@@ -1,8 +1,11 @@
 """Cells and rows of the framebuffer.
 
 Cells are immutable so framebuffer copies (taken for every sent SSP state)
-can share them freely; a row copy is a shallow list copy. Rows carry a
-generation number from a global counter: two rows with equal generations
+can share them freely. Rows are shared copy-on-write: a framebuffer
+snapshot marks every row ``shared`` and aliases the row objects, and the
+first mutation after a snapshot clones the row
+(:meth:`repro.terminal.framebuffer.Framebuffer.writable_row`). Rows carry
+a generation number from a global counter: two rows with equal generations
 are guaranteed content-equal, which makes the per-frame diff scan cheap.
 """
 
@@ -44,11 +47,17 @@ _row_gen = itertools.count(1)
 
 @dataclass
 class Row:
-    """A row of cells plus the soft-wrap flag."""
+    """A row of cells plus the soft-wrap flag.
+
+    ``shared`` marks a row aliased by at least one framebuffer snapshot;
+    mutators must clone it first (``Framebuffer.writable_row``). The flag
+    is bookkeeping, not content, so it is excluded from equality.
+    """
 
     cells: list[Cell]
     wrap: bool = False
     gen: int = field(default_factory=lambda: next(_row_gen))
+    shared: bool = field(default=False, compare=False, repr=False)
 
     @classmethod
     def blank(cls, width: int, renditions: Renditions = DEFAULT_RENDITIONS) -> "Row":

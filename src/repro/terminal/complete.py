@@ -28,6 +28,7 @@ from repro.errors import StateError
 from repro.terminal.display import Display
 from repro.terminal.emulator import Emulator
 from repro.terminal.framebuffer import Framebuffer
+from repro.terminal.parser import Parser
 from repro.transport.state import StateObject
 
 #: "A server-side timeout of 50 ms, chosen to contain the vast majority of
@@ -124,13 +125,12 @@ class Complete(StateObject):
 
     def copy(self) -> "Complete":
         """Snapshot this state (fresh parser; history stays with the live
-        terminal)."""
+        terminal). O(height) — rows are shared copy-on-write."""
         dup = Complete.__new__(Complete)
         dup._emulator = Emulator.__new__(Emulator)
         dup._emulator.fb = self.fb.copy()
-        from repro.terminal.parser import Parser  # fresh parser: diffs are
-        dup._emulator._parser = Parser()  # whole sequences, never split
-        dup._emulator.outbox = bytearray()
+        dup._emulator._parser = Parser()  # fresh parser: diffs are
+        dup._emulator.outbox = bytearray()  # whole sequences, never split
         dup._emulator._g0 = self._emulator._g0
         dup._emulator._g1 = self._emulator._g1
         dup._emulator._shift = self._emulator._shift

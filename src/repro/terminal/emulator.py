@@ -88,8 +88,9 @@ class Emulator:
             return
 
         if fb.next_print_wraps and fb.wraparound:
-            fb.rows[fb.cursor_row].wrap = True
-            fb.rows[fb.cursor_row].touch()
+            row = fb.writable_row(fb.cursor_row)
+            row.wrap = True
+            row.touch()
             fb.cursor_col = 0
             self._line_feed()
         fb.next_print_wraps = False
@@ -98,8 +99,9 @@ class Emulator:
             # A wide character cannot straddle the margin: wrap (or stay).
             if fb.wraparound:
                 fb.set_cell(fb.cursor_row, fb.cursor_col, fb._erase_cell())
-                fb.rows[fb.cursor_row].wrap = True
-                fb.rows[fb.cursor_row].touch()
+                row = fb.writable_row(fb.cursor_row)
+                row.wrap = True
+                row.touch()
                 fb.cursor_col = 0
                 self._line_feed()
             else:

@@ -20,6 +20,7 @@ This is a faithful port of Mosh's sender behaviour (§2.3):
 
 from __future__ import annotations
 
+from collections import OrderedDict, deque
 from dataclasses import dataclass
 from typing import Generic, TypeVar
 
@@ -34,6 +35,16 @@ S = TypeVar("S", bound=StateObject)
 #: Bound on the sent-state list; the middle is culled first because the
 #: front anchors acknowledged history and the tail anchors fresh frames.
 _MAX_SENT_STATES = 32
+
+#: Bound on the memoized diff cache. Keys are (source, target)
+#: fingerprint pairs; a handful covers the tick/heartbeat/retransmission
+#: churn between acknowledgments.
+_DIFF_CACHE_MAX = 32
+
+#: Bound on the instrumentation send log (ring buffer). Sized for the
+#: paper-scale trace replays (~10k keystrokes, a few sends each) while
+#: keeping a long-lived recording session's memory flat.
+SEND_LOG_MAX = 65536
 
 
 @dataclass
@@ -68,13 +79,22 @@ class TransportSender(Generic[S]):
         self._last_heard = -1e12
         self._shutdown = False
 
+        # Memoized diffs keyed by (source, target) fingerprints: the
+        # retransmission-by-diff and heartbeat paths recompute identical
+        # diffs; fingerprint equality guarantees byte-identical output.
+        self._diff_cache: OrderedDict[tuple[int, int], bytes] = OrderedDict()
+
         # Instrumentation (read by the experiment harness).
         self.instructions_sent = 0
         self.empty_acks_sent = 0
         self.piggybacked_acks = 0
         self.standalone_acks = 0  # data acks that found no host data to ride
         self.datagrams_sent = 0
-        self.send_log: list[tuple[float, int, int]] = []  # (time, num, diff len)
+        self.diff_cache_hits = 0
+        self.diff_cache_misses = 0
+        # (time, num, diff len) ring buffer so long recording sessions
+        # cannot grow memory without bound.
+        self.send_log: deque[tuple[float, int, int]] = deque(maxlen=SEND_LOG_MAX)
         self.record_send_log = False
 
     # ------------------------------------------------------------------
@@ -96,9 +116,14 @@ class TransportSender(Generic[S]):
         if not self._pending_data_ack:
             self._pending_data_ack = True
             self._pending_ack_since = now
-        self._next_ack_time = min(
-            self._next_ack_time, now + self.timing.ack_delay_ms
-        )
+        target = now + self.timing.ack_delay_ms
+        if now < self._next_ack_time < target:
+            return  # an earlier live deadline already covers this ack
+        # A stale (past) deadline must not make the ack fire immediately:
+        # the whole point of the 100 ms delay is waiting for host data to
+        # piggyback on (§2.3). This matters for the very first data ack,
+        # when _next_ack_time still holds its initial 0.0.
+        self._next_ack_time = target
 
     def remote_heard(self, now: float) -> None:
         """Note that an authentic instruction arrived from the peer."""
@@ -203,7 +228,7 @@ class TransportSender(Generic[S]):
         if not send_due and not ack_due:
             return
         assumed = self._sent_states[self._assumed_idx]
-        diff = self._current_state.diff_from(assumed.state)
+        diff = self._diff_between(assumed.state)
         if not diff:
             # Nothing to convey. This also covers the state-reversion case
             # (current differs from the newest *sent* state but matches the
@@ -217,6 +242,32 @@ class TransportSender(Generic[S]):
         # A pending diff rides out whether the frame timer or the ack
         # timer fired — the ack piggybacks on host data (§2.3).
         self._send_to_receiver(diff, now)
+
+    def _diff_between(self, source: S) -> bytes:
+        """``current.diff_from(source)``, memoized by fingerprint pair.
+
+        Within one lineage equal fingerprints imply equal states, and
+        ``diff_from`` is a pure function of the two states, so a cache
+        hit returns byte-identical output. Retransmissions-by-diff
+        (assumption slide-back) and heartbeat ticks hit this cache
+        instead of re-walking the framebuffer.
+        """
+        src_fp = source.fingerprint()
+        tgt_fp = self._current_state.fingerprint()
+        if src_fp is None or tgt_fp is None:
+            return self._current_state.diff_from(source)
+        key = (src_fp, tgt_fp)
+        cached = self._diff_cache.get(key)
+        if cached is not None:
+            self._diff_cache.move_to_end(key)
+            self.diff_cache_hits += 1
+            return cached
+        diff = self._current_state.diff_from(source)
+        self._diff_cache[key] = diff
+        self.diff_cache_misses += 1
+        if len(self._diff_cache) > _DIFF_CACHE_MAX:
+            self._diff_cache.popitem(last=False)
+        return diff
 
     def _send_empty_ack(self, now: float) -> None:
         back = self._sent_states[-1]

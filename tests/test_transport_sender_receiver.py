@@ -191,3 +191,81 @@ class TestReceiver:
         assert recv.process_instruction(self._inst(1, 2, b""))
         assert recv.latest_state.total_count == 1
         assert recv.latest_num == 2
+
+
+class TestSendLogRing:
+    def test_send_log_is_bounded_by_default(self):
+        from repro.transport.sender import SEND_LOG_MAX
+
+        _, sender = make_sender()
+        assert sender.send_log.maxlen == SEND_LOG_MAX
+
+    def test_overflow_drops_oldest_and_keeps_newest(self):
+        from collections import deque
+
+        endpoint, sender = make_sender()
+        sender.record_send_log = True
+        sender.send_log = deque(maxlen=4)
+        t = 0.0
+        sender.tick(t)  # hello
+        for i in range(8):
+            sender.state.push_event(UserBytes(bytes([65 + i])))
+            t += 200.0
+            sender.tick(t)
+            t += sender.timing.send_mindelay_ms
+            sender.tick(t)
+        assert len(sender.send_log) == 4
+        nums = [num for _, num, _ in sender.send_log]
+        assert nums == sorted(nums)
+        # The newest send survives; the earliest ones were evicted.
+        assert nums[-1] == max(nums)
+        assert nums[0] > 1
+
+
+class TestDelayedDataAck:
+    def test_first_data_ack_waits_the_full_delay(self):
+        # Regression: _next_ack_time starts at 0.0 and used to be only
+        # min()-ed, so the first data ack of a session fired immediately
+        # instead of waiting ack_delay_ms for a piggyback opportunity.
+        endpoint, sender = make_sender()
+        sender.tick(0.0)  # hello / initial empty ack
+        endpoint.sent.clear()
+        sender.set_data_ack(500.0)
+        assert sender._next_ack_time == 500.0 + sender.timing.ack_delay_ms
+        sender.tick(500.0)
+        assert endpoint.sent == []  # nothing due yet
+        assert sender.wait_time(500.0) == sender.timing.ack_delay_ms
+        sender.tick(500.0 + sender.timing.ack_delay_ms)
+        assert len(endpoint.sent) == 1  # the delayed ack went out
+
+    def test_earlier_pending_deadline_is_not_postponed(self):
+        _, sender = make_sender()
+        sender.tick(0.0)
+        sender.set_data_ack(500.0)
+        first_deadline = sender._next_ack_time
+        sender.set_data_ack(550.0)  # still covered by the live deadline
+        assert sender._next_ack_time == first_deadline
+
+
+class TestDiffMemoization:
+    def test_repeated_diff_hits_cache_with_identical_bytes(self):
+        _, sender = make_sender()
+        sender.state.push_event(UserBytes(b"a"))
+        src = sender._sent_states[0].state
+        first = sender._diff_between(src)
+        assert sender.diff_cache_misses == 1
+        second = sender._diff_between(src)
+        assert sender.diff_cache_hits == 1
+        fresh = sender.state.diff_from(src)
+        assert first == second == fresh
+        assert first  # non-empty: the event is actually in the diff
+
+    def test_cache_is_bounded(self):
+        from repro.transport.sender import _DIFF_CACHE_MAX
+
+        _, sender = make_sender()
+        src = sender._sent_states[0].state
+        for _ in range(_DIFF_CACHE_MAX + 10):
+            sender.state.push_event(UserBytes(b"x"))
+            sender._diff_between(src)
+        assert len(sender._diff_cache) <= _DIFF_CACHE_MAX

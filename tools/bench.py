@@ -1,0 +1,162 @@
+#!/usr/bin/env python3
+"""Run the hot-path benchmarks and maintain ``BENCH_hotpath.json``.
+
+The committed ``BENCH_hotpath.json`` records the performance trajectory of
+the terminal→transport hot path:
+
+* ``baseline`` — the numbers measured before the copy-on-write /
+  memoization work (kept verbatim as the historical reference);
+* ``current``  — the numbers for the committed tree;
+* ``speedup``  — baseline ÷ current, per scenario;
+* ``wire_sha256`` — a digest of a scripted session's diff bytes, which
+  must never change without a deliberate wire-format revision.
+
+Usage::
+
+    python tools/bench.py                    # full run, update "current"
+    python tools/bench.py --quick            # fast smoke run
+    python tools/bench.py --quick --check    # CI: fail on >2x regression
+    python tools/bench.py --record-baseline  # overwrite "baseline" (rare)
+
+``--check`` never touches the committed file; pass ``--out`` to save the
+fresh measurements elsewhere (CI uploads that file as an artifact).
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib.util
+import json
+import os
+import sys
+
+ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+RESULTS_PATH = os.path.join(ROOT, "BENCH_hotpath.json")
+
+#: An op "regresses" when it is this many times slower than the committed
+#: number. Generous because CI hardware differs from the recording host.
+REGRESSION_FACTOR = float(os.environ.get("REPRO_BENCH_REGRESSION_FACTOR", "2.0"))
+
+
+def _load_bench_module():
+    sys.path.insert(0, os.path.join(ROOT, "src"))
+    path = os.path.join(ROOT, "benchmarks", "bench_hotpath.py")
+    spec = importlib.util.spec_from_file_location("bench_hotpath", path)
+    module = importlib.util.module_from_spec(spec)
+    assert spec.loader is not None
+    spec.loader.exec_module(module)
+    return module
+
+
+def _load_committed() -> dict:
+    if os.path.exists(RESULTS_PATH):
+        with open(RESULTS_PATH) as f:
+            return json.load(f)
+    return {"schema": 1}
+
+
+def _speedups(baseline: dict, current: dict) -> dict:
+    out = {}
+    for name, us in current.items():
+        base = baseline.get(name)
+        if base and us:
+            out[name] = round(base / us, 2)
+    return out
+
+
+def _check(committed: dict, fresh: dict) -> int:
+    """Compare a fresh run against the committed numbers; 0 = pass."""
+    failures = []
+    reference = committed.get("current", {})
+    if not reference:
+        print("check: no committed 'current' numbers; nothing to compare")
+        return 0
+    for name, ref_us in reference.items():
+        got_us = fresh["ops"].get(name)
+        if got_us is None:
+            failures.append(f"{name}: scenario missing from this build")
+        elif got_us > ref_us * REGRESSION_FACTOR:
+            failures.append(
+                f"{name}: {got_us:.1f} µs/op vs committed {ref_us:.1f} µs/op "
+                f"(>{REGRESSION_FACTOR:g}x regression)"
+            )
+    committed_sha = committed.get("wire_sha256")
+    if committed_sha and committed_sha != fresh["wire_sha256"]:
+        failures.append(
+            "wire_sha256 mismatch: the diff wire format changed "
+            f"({fresh['wire_sha256'][:16]}… vs committed {committed_sha[:16]}…)"
+        )
+    if failures:
+        print("benchmark check FAILED:")
+        for line in failures:
+            print(f"  - {line}")
+        return 1
+    print(
+        f"benchmark check passed: {len(reference)} scenarios within "
+        f"{REGRESSION_FACTOR:g}x of committed numbers, wire format unchanged"
+    )
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true", help="CI smoke scale")
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="compare against committed BENCH_hotpath.json; fail on regression",
+    )
+    parser.add_argument(
+        "--record-baseline",
+        action="store_true",
+        help="store this run as the historical baseline",
+    )
+    parser.add_argument(
+        "--out", default=None, help="write results to this path instead"
+    )
+    args = parser.parse_args(argv)
+
+    module = _load_bench_module()
+    print(
+        f"running hot-path benchmarks ({'quick' if args.quick else 'full'})…",
+        file=sys.stderr,
+    )
+    fresh = module.run_benchmarks(quick=args.quick)
+
+    doc = _load_committed()
+    doc.setdefault("schema", 1)
+    doc["geometry"] = fresh["geometry"]
+    if args.record_baseline:
+        doc["baseline"] = fresh["ops"]
+        doc["baseline_quick"] = fresh["quick"]
+    else:
+        doc["current"] = fresh["ops"]
+        doc["current_quick"] = fresh["quick"]
+        if "baseline" in doc:
+            doc["speedup"] = _speedups(doc["baseline"], fresh["ops"])
+    doc["wire_sha256"] = doc.get("wire_sha256") or fresh["wire_sha256"]
+
+    if args.check:
+        status = _check(_load_committed(), fresh)
+        if args.out:
+            doc["current"] = fresh["ops"]  # the artifact shows this run
+            doc["wire_sha256"] = fresh["wire_sha256"]
+            with open(args.out, "w") as f:
+                json.dump(doc, f, indent=2, sort_keys=True)
+            print(f"wrote {args.out}")
+        return status
+
+    out_path = args.out or RESULTS_PATH
+    doc["wire_sha256"] = fresh["wire_sha256"]
+    with open(out_path, "w") as f:
+        json.dump(doc, f, indent=2, sort_keys=True)
+        f.write("\n")
+    print(f"wrote {out_path}")
+    if "speedup" in doc:
+        for name, x in sorted(doc["speedup"].items()):
+            print(f"  {name:<18} {x:>7.2f}x vs baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
