@@ -1,0 +1,134 @@
+"""Vectorised AES-128 batch kernel over numpy (optional backend).
+
+The integer-domain kernel in :mod:`repro.crypto.aes` pays a fixed
+per-block interpreter cost, so MTU-sized OCB datagrams (tens of blocks)
+are still loop-bound. This module encrypts *all* blocks of a datagram at
+once: the state is an ``(N, 16)`` uint8 array, ShiftRows/InvShiftRows are
+fixed 16-element gathers, SubBytes is a 256-entry table gather, and
+MixColumns is built from an xtime table (encrypt) or S-box-composed
+multiply tables (decrypt). Ten rounds cost ~40 whole-array operations
+regardless of N, so per-block cost falls roughly linearly with batch
+size until memory bandwidth takes over.
+
+numpy is optional: the module imports cleanly without it and
+:func:`available` reports the fact, letting :mod:`repro.crypto.ocb` fall
+back to the integer kernel. Nothing here may be imported from a hot path
+without checking :func:`available` first.
+
+Byte order matches the wire: row ``n`` of the array is block ``n``, and
+within a row byte 0 is the first wire byte (the AES state read in column
+order), identical to the big-endian 128-bit ints used elsewhere.
+"""
+
+from __future__ import annotations
+
+try:  # pragma: no cover - exercised implicitly by whichever env runs
+    import numpy as _np
+except ImportError:  # pragma: no cover
+    _np = None
+
+from repro.crypto.aes import AES128, INV_SBOX, SBOX, _gf_mul, _ROUNDS
+
+
+def available() -> bool:
+    """True when the numpy backend can be used."""
+    return _np is not None
+
+
+def np():
+    """The numpy module (callers must have checked :func:`available`)."""
+    return _np
+
+
+# Lazily-built shared lookup/gather tables, key-independent.
+_TABLES: tuple | None = None
+
+
+def _build_tables() -> tuple:
+    sb8 = _np.array(SBOX, dtype=_np.uint8)
+    isb8 = _np.array(INV_SBOX, dtype=_np.uint8)
+    xt = _np.array([_gf_mul(v, 2) for v in range(256)], dtype=_np.uint8)
+    # Decrypt multiply tables with InvSubBytes composed in, so one gather
+    # does InvSubBytes + the InvMixColumns coefficient.
+    m9, m11, m13, m14 = (
+        _np.array([_gf_mul(INV_SBOX[v], c) for v in range(256)], dtype=_np.uint8)
+        for c in (0x09, 0x0B, 0x0D, 0x0E)
+    )
+    # Flattened state index j = 4*column + row. ShiftRows moves row r of
+    # column (c + r) mod 4 into column c.
+    sr = _np.array(
+        [4 * (((j // 4) + (j % 4)) % 4) + (j % 4) for j in range(16)], dtype=_np.intp
+    )
+    isr = _np.empty(16, dtype=_np.intp)
+    isr[sr] = _np.arange(16, dtype=_np.intp)
+
+    def rot(k: int):
+        # Rotate rows within each column: row (r + k) mod 4 of the same column.
+        return _np.array(
+            [4 * (j // 4) + ((j % 4) + k) % 4 for j in range(16)], dtype=_np.intp
+        )
+
+    r1, r2, r3 = rot(1), rot(2), rot(3)
+    # Decrypt gathers compose InvShiftRows with the row rotations so each
+    # round is four gathers instead of five.
+    d0, d1, d2, d3 = isr, isr[r1], isr[r2], isr[r3]
+    return sb8, isb8, xt, m9, m11, m13, m14, sr, isr, r1, r2, r3, d0, d1, d2, d3
+
+
+def _tables() -> tuple:
+    global _TABLES
+    if _TABLES is None:
+        _TABLES = _build_tables()
+    return _TABLES
+
+
+def as_block_array(data) -> "object":
+    """View a bytes-like of N*16 bytes as an (N, 16) uint8 array."""
+    return _np.frombuffer(data, dtype=_np.uint8).reshape(-1, 16)
+
+
+class BatchAES:
+    """Per-key vectorised encrypt/decrypt over ``(N, 16)`` uint8 arrays.
+
+    Output of :meth:`encrypt`/:meth:`decrypt` on row ``n`` equals
+    ``AES128.encrypt_block``/``decrypt_block`` on the same 16 bytes; the
+    test suite asserts that equivalence property.
+    """
+
+    __slots__ = ("_rkb", "_drkb")
+
+    def __init__(self, aes: AES128) -> None:
+        if _np is None:
+            raise RuntimeError("numpy backend is unavailable")
+
+        def pack(words: list[int]):
+            raw = b"".join(w.to_bytes(4, "big") for w in words)
+            return as_block_array(raw).copy()
+
+        self._rkb = pack(aes._enc_round_keys)
+        self._drkb = pack(aes._dec_round_keys)
+
+    def encrypt(self, state):
+        """Encrypt every row of an (N, 16) uint8 array; returns a new array."""
+        sb8, _isb8, xt, _m9, _m11, _m13, _m14, sr, _isr, r1, r2, r3 = _tables()[:12]
+        rkb = self._rkb
+        s = state ^ rkb[0]
+        for r in range(1, _ROUNDS):
+            sub = sb8[s[:, sr]]
+            b = xt[sub]  # 2*a
+            t = sub ^ b  # 3*a
+            s = b ^ t[:, r1] ^ sub[:, r2] ^ sub[:, r3] ^ rkb[r]
+        return sb8[s[:, sr]] ^ rkb[_ROUNDS]
+
+    def decrypt(self, state):
+        """Inverse of :meth:`encrypt` (equivalent inverse cipher)."""
+        tables = _tables()
+        isb8 = tables[1]
+        m9, m11, m13, m14 = tables[3:7]
+        isr = tables[8]
+        d0, d1, d2, d3 = tables[12:16]
+        drkb = self._drkb
+        s = state ^ drkb[0]
+        for r in range(1, _ROUNDS):
+            s = m14[s[:, d0]] ^ m11[s[:, d1]] ^ m13[s[:, d2]] ^ m9[s[:, d3]] ^ drkb[r]
+        return isb8[s[:, isr]] ^ drkb[_ROUNDS]

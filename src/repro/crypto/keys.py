@@ -74,12 +74,18 @@ class Base64Key:
         return "Base64Key(<secret>)"
 
 
+#: The four zero bytes that pad the 8-byte wire nonce to OCB's 12 bytes.
+OCB_NONCE_PREFIX = bytes(4)
+
+
 @dataclass(frozen=True)
 class Nonce:
     """Direction bit plus 63-bit sequence number.
 
     The wire form is the low 8 bytes (big-endian); the OCB nonce form pads
-    with four leading zero bytes to 12 bytes.
+    with four leading zero bytes to 12 bytes. Both encodings are cached on
+    first use — the sealing path asks for each once per datagram, and a
+    nonce's fields are frozen so the encodings can never go stale.
     """
 
     direction: int
@@ -98,15 +104,25 @@ class Nonce:
 
     def wire(self) -> bytes:
         """8-byte form transmitted in the clear at the packet head."""
-        return self.value.to_bytes(8, "big")
+        # Frozen dataclasses still have a plain __dict__; cached encodings
+        # live there, invisible to the generated __eq__/__hash__.
+        wire = self.__dict__.get("_wire")
+        if wire is None:
+            wire = self.__dict__["_wire"] = self.value.to_bytes(8, "big")
+        return wire
 
     def ocb(self) -> bytes:
         """12-byte OCB nonce."""
-        return bytes(4) + self.wire()
+        ocb = self.__dict__.get("_ocb")
+        if ocb is None:
+            ocb = self.__dict__["_ocb"] = OCB_NONCE_PREFIX + self.wire()
+        return ocb
 
     @classmethod
     def from_wire(cls, data: bytes) -> "Nonce":
         if len(data) != 8:
             raise CryptoError(f"nonce wire form must be 8 bytes, got {len(data)}")
         value = int.from_bytes(data, "big")
-        return cls(direction=value >> 63, seq=value & _SEQ_MASK)
+        nonce = cls(direction=value >> 63, seq=value & _SEQ_MASK)
+        nonce.__dict__["_wire"] = bytes(data)
+        return nonce

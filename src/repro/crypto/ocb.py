@@ -6,8 +6,20 @@ key" (§2.2). This module implements the OCB3 variant standardized in RFC
 7253 with a 128-bit tag, validated against the RFC's published test vectors
 in the test suite.
 
-Blocks are manipulated as 128-bit Python integers, which keeps the
-pure-Python hot path to a few arithmetic operations per block.
+Performance shape (this sits on the per-datagram hot path):
+
+* Offsets come from a per-key, lazily-grown prefix-XOR table:
+  ``Offset_i = Offset_nonce ^ cumulative[i]`` with ``cumulative[i] =
+  cumulative[i-1] ^ L[ntz(i)]``, so the per-block ``ntz``/XOR chain from
+  the RFC's definition is computed once per key, not once per datagram.
+* All full blocks of a datagram are whitened and ciphered in one batch —
+  through the numpy kernel (:mod:`repro.crypto.batch`) when available and
+  the datagram is large enough to amortize dispatch, otherwise through
+  the integer-domain kernel (``AES128.encrypt_blocks_int``). Output is
+  assembled as a list of 16-byte chunks and one ``b"".join``.
+* The empty associated-data case (every SSP datagram) skips the AD hash
+  entirely, and the nonce-dependent Ktop block is served from a small
+  keyed LRU so interleaved send/receive nonces both stay cached.
 """
 
 from __future__ import annotations
@@ -15,12 +27,28 @@ from __future__ import annotations
 import hmac
 from collections import OrderedDict
 
+from repro.crypto import batch as _batch
 from repro.crypto.aes import AES128, BLOCK_SIZE
 from repro.errors import AuthenticationError, CryptoError
 
 TAG_LEN = 16
 
 _MASK128 = (1 << 128) - 1
+
+#: Minimum number of full blocks for which the numpy batch kernel beats the
+#: integer kernel; below this its per-call dispatch overhead dominates.
+#: Sealing batches body+pad+tag in one kernel call so it amortizes sooner
+#: than unsealing (whose tag check is a dependent second pass).
+_BATCH_MIN_BLOCKS_SEAL = 6
+_BATCH_MIN_BLOCKS_UNSEAL = 8
+
+#: Ktop LRU capacity. Nonces sharing the top 122 bits share a Ktop, so a
+#: sender's monotonically increasing sequence numbers hit one entry for 64
+#: datagrams in a row — but an endpoint alternates between its send and
+#: receive directions, which are distinct Ktop blocks. A single-entry cache
+#: thrashes in that pattern; a handful of entries keeps both directions
+#: (plus a reconnect's worth of churn) resident.
+_KTOP_CACHE_MAX = 8
 
 
 def _double(value: int) -> int:
@@ -36,35 +64,69 @@ def _ntz(i: int) -> int:
     return (i & -i).bit_length() - 1
 
 
-#: Per-key schedule cache: AES round keys plus the OCB offset L-table are
-#: pure functions of the key, and one session key seals every datagram of
-#: a connection, so ciphers constructed for the same key (reconnects,
-#: per-direction endpoints, tests) share one schedule instead of
-#: recomputing it.
-_SCHEDULE_CACHE: OrderedDict[bytes, tuple[AES128, int, int, tuple[int, ...]]] = (
-    OrderedDict()
-)
+class _Schedule:
+    """Everything derivable from the key alone, shared across instances.
+
+    AES round keys, the OCB L-constants, the grown offset prefix table,
+    and the per-key numpy kernel are pure functions of the key, and one
+    session key seals every datagram of a connection, so ciphers
+    constructed for the same key (per-direction endpoints, reconnects,
+    tests) share one schedule instead of recomputing it.
+    """
+
+    __slots__ = ("aes", "l_star", "l_dollar", "l_table", "cumulative", "batch",
+                 "_np_cum")
+
+    def __init__(self, key: bytes) -> None:
+        self.aes = AES128(key)
+        self.l_star = int.from_bytes(self.aes.encrypt_block(bytes(BLOCK_SIZE)), "big")
+        self.l_dollar = _double(self.l_star)
+        # Precompute L[0..63]; ntz(i) for any realistic message length fits.
+        table = [_double(self.l_dollar)]
+        for _ in range(63):
+            table.append(_double(table[-1]))
+        self.l_table = tuple(table)
+        #: Prefix-XOR offset increments: cumulative[i] = L[ntz(1)] ^ ... ^
+        #: L[ntz(i)], so Offset_i = Offset_nonce ^ cumulative[i]. Grown on
+        #: demand to the largest message seen under this key.
+        self.cumulative: list[int] = [0]
+        self.batch = _batch.BatchAES(self.aes) if _batch.available() else None
+        self._np_cum = None  # uint8 mirror of cumulative[1:], rebuilt on growth
+
+    def grow(self, blocks: int) -> list[int]:
+        """Return the cumulative table, extended to cover ``blocks``."""
+        cum = self.cumulative
+        if len(cum) <= blocks:
+            l_table = self.l_table
+            while len(cum) <= blocks:
+                cum.append(cum[-1] ^ l_table[_ntz(len(cum))])
+            self._np_cum = None
+        return cum
+
+    def np_offsets(self, blocks: int):
+        """(blocks, 16) uint8 view of cumulative[1..blocks]."""
+        cum = self.grow(blocks)
+        np_cum = self._np_cum
+        if np_cum is None:
+            raw = b"".join(c.to_bytes(16, "big") for c in cum[1:])
+            np_cum = self._np_cum = _batch.as_block_array(raw)
+        return np_cum[:blocks]
+
+
+_SCHEDULE_CACHE: OrderedDict[bytes, _Schedule] = OrderedDict()
 _SCHEDULE_CACHE_MAX = 64
 
 
-def _key_schedule(key: bytes) -> tuple[AES128, int, int, tuple[int, ...]]:
-    """(AES, L_*, L_$, L[0..63]) for ``key``, cached per key."""
-    cached = _SCHEDULE_CACHE.get(key)
-    if cached is not None:
+def _key_schedule(key: bytes) -> _Schedule:
+    """The :class:`_Schedule` for ``key``, cached per key."""
+    sched = _SCHEDULE_CACHE.get(key)
+    if sched is not None:
         _SCHEDULE_CACHE.move_to_end(key)
-        return cached
-    aes = AES128(key)
-    l_star = int.from_bytes(aes.encrypt_block(bytes(BLOCK_SIZE)), "big")
-    l_dollar = _double(l_star)
-    # Precompute L[0..63]; ntz(i) for any realistic message length fits.
-    table = [_double(l_dollar)]
-    for _ in range(63):
-        table.append(_double(table[-1]))
-    entry = (aes, l_star, l_dollar, tuple(table))
-    _SCHEDULE_CACHE[key] = entry
+        return sched
+    sched = _SCHEDULE_CACHE[key] = _Schedule(key)
     if len(_SCHEDULE_CACHE) > _SCHEDULE_CACHE_MAX:
         _SCHEDULE_CACHE.popitem(last=False)
-    return entry
+    return sched
 
 
 class OCBCipher:
@@ -75,20 +137,14 @@ class OCBCipher:
     """
 
     def __init__(self, key: bytes) -> None:
-        self._aes, self._l_star, self._l_dollar, self._l_table = _key_schedule(
-            bytes(key)
-        )
-        self._ktop_cache: tuple[bytes, int] | None = None
-
-    def _enc(self, block_int: int) -> int:
-        return int.from_bytes(
-            self._aes.encrypt_block(block_int.to_bytes(16, "big")), "big"
-        )
-
-    def _dec(self, block_int: int) -> int:
-        return int.from_bytes(
-            self._aes.decrypt_block(block_int.to_bytes(16, "big")), "big"
-        )
+        self._schedule = _key_schedule(bytes(key))
+        self._aes = self._schedule.aes
+        self._l_star = self._schedule.l_star
+        self._l_dollar = self._schedule.l_dollar
+        self._l_table = self._schedule.l_table
+        self._ktop_cache: OrderedDict[bytes, int] = OrderedDict()
+        self.ktop_hits = 0
+        self.ktop_misses = 0
 
     def _initial_offset(self, nonce: bytes) -> int:
         """RFC 7253 §4.2 nonce-dependent initial offset."""
@@ -101,67 +157,153 @@ class OCBCipher:
         bottom = full[15] & 0x3F
         full[15] &= 0xC0
         key = bytes(full)
-        cached = self._ktop_cache
-        if cached is not None and cached[0] == key:
-            stretch = cached[1]
-        else:
+        cache = self._ktop_cache
+        stretch = cache.get(key)
+        if stretch is None:
+            self.ktop_misses += 1
             ktop = self._aes.encrypt_block(key)
             ktop_int = int.from_bytes(ktop, "big")
             shifted = int.from_bytes(ktop[1:9], "big") ^ int.from_bytes(
                 ktop[0:8], "big"
             )
             stretch = (ktop_int << 64) | shifted  # 192 bits
-            self._ktop_cache = (key, stretch)
+            cache[key] = stretch
+            if len(cache) > _KTOP_CACHE_MAX:
+                cache.popitem(last=False)
+        else:
+            self.ktop_hits += 1
+            cache.move_to_end(key)
         return (stretch >> (64 - bottom)) & _MASK128
 
     def _hash_ad(self, associated_data: bytes) -> int:
-        """HASH(K, A) from RFC 7253 §4.1."""
+        """HASH(K, A) from RFC 7253 §4.1 (callers skip the empty case)."""
         if not associated_data:
             return 0
-        offset = 0
+        m = len(associated_data) // BLOCK_SIZE
+        cum = self._schedule.grow(m)
+        xs = [
+            int.from_bytes(associated_data[16 * i - 16 : 16 * i], "big") ^ cum[i]
+            for i in range(1, m + 1)
+        ]
+        tail = associated_data[m * BLOCK_SIZE :]
+        if tail:
+            padded = tail + b"\x80" + bytes(BLOCK_SIZE - len(tail) - 1)
+            xs.append(int.from_bytes(padded, "big") ^ cum[m] ^ self._l_star)
         total = 0
-        full_blocks = len(associated_data) // BLOCK_SIZE
-        for i in range(1, full_blocks + 1):
-            offset ^= self._l_table[_ntz(i)]
-            block = int.from_bytes(
-                associated_data[(i - 1) * BLOCK_SIZE : i * BLOCK_SIZE], "big"
-            )
-            total ^= self._enc(block ^ offset)
-        tail = associated_data[full_blocks * BLOCK_SIZE :]
+        for enc in self._aes.encrypt_blocks_int(xs):
+            total ^= enc
+        return total
+
+    def _encrypt_batch(
+        self, offset0: int, offset_m: int, data, m: int, tail: bytes,
+        associated_data: bytes,
+    ) -> bytes:
+        """Seal via the numpy kernel: body, pad, and tag in one batch.
+
+        The pad block (``E(Offset_*)``) and the tag block depend only on
+        the plaintext checksum and offsets, both known up front, so they
+        ride along as extra rows of the same kernel invocation.
+        """
+        np = _batch.np()
+        sched = self._schedule
+        offsets = sched.np_offsets(m) ^ np.frombuffer(
+            offset0.to_bytes(16, "big"), dtype=np.uint8
+        )
+        blocks = np.frombuffer(data[: m * BLOCK_SIZE], dtype=np.uint8).reshape(m, 16)
+        extra = 2 if tail else 1
+        x = np.empty((m + extra, 16), dtype=np.uint8)
+        np.bitwise_xor(blocks, offsets, out=x[:m])
+        checksum = int.from_bytes(
+            np.bitwise_xor.reduce(blocks, axis=0).tobytes(), "big"
+        )
+        offset = offset_m
         if tail:
             offset ^= self._l_star
-            padded = tail + b"\x80" + bytes(BLOCK_SIZE - len(tail) - 1)
-            total ^= self._enc(int.from_bytes(padded, "big") ^ offset)
-        return total
+            x[m] = np.frombuffer(offset.to_bytes(16, "big"), dtype=np.uint8)
+            checksum ^= int.from_bytes(
+                tail + b"\x80" + bytes(BLOCK_SIZE - len(tail) - 1), "big"
+            )
+        x[m + extra - 1] = np.frombuffer(
+            (checksum ^ offset ^ self._l_dollar).to_bytes(16, "big"), dtype=np.uint8
+        )
+        y = sched.batch.encrypt(x)
+        parts = [(y[:m] ^ offsets).tobytes()]
+        if tail:
+            pad = y[m].tobytes()
+            parts.append(bytes(p ^ k for p, k in zip(tail, pad)))
+        tag = int.from_bytes(y[m + extra - 1].tobytes(), "big")
+        if associated_data:
+            tag ^= self._hash_ad(associated_data)
+        parts.append(tag.to_bytes(16, "big"))
+        return b"".join(parts)
+
+    def _decrypt_batch_body(self, offset0: int, body, m: int):
+        """Unwhiten/decrypt ``m`` full blocks via the numpy kernel.
+
+        Returns ``(plaintext_bytes, plaintext_checksum)``. Unlike sealing,
+        the tag block cannot ride along: it needs the checksum of the
+        plaintext this call produces.
+        """
+        np = _batch.np()
+        sched = self._schedule
+        offsets = sched.np_offsets(m) ^ np.frombuffer(
+            offset0.to_bytes(16, "big"), dtype=np.uint8
+        )
+        blocks = np.frombuffer(body[: m * BLOCK_SIZE], dtype=np.uint8).reshape(m, 16)
+        plain = sched.batch.decrypt(blocks ^ offsets) ^ offsets
+        checksum = int.from_bytes(
+            np.bitwise_xor.reduce(plain, axis=0).tobytes(), "big"
+        )
+        return plain.tobytes(), checksum
 
     def encrypt(
         self, nonce: bytes, plaintext: bytes, associated_data: bytes = b""
     ) -> bytes:
         """Return ciphertext || 16-byte tag."""
-        offset = self._initial_offset(nonce)
-        checksum = 0
-        out = bytearray()
-        full_blocks = len(plaintext) // BLOCK_SIZE
-        for i in range(1, full_blocks + 1):
-            offset ^= self._l_table[_ntz(i)]
-            block = int.from_bytes(
-                plaintext[(i - 1) * BLOCK_SIZE : i * BLOCK_SIZE], "big"
+        offset0 = self._initial_offset(nonce)
+        data = memoryview(plaintext)
+        m, tail_len = divmod(len(data), BLOCK_SIZE)
+        sched = self._schedule
+        cum = sched.grow(m)
+        offset = offset0 ^ cum[m]
+        tail = bytes(data[m * BLOCK_SIZE :]) if tail_len else b""
+        if sched.batch is not None and m >= _BATCH_MIN_BLOCKS_SEAL:
+            return self._encrypt_batch(
+                offset0, offset, data, m, tail, associated_data
             )
+        # Integer-domain path: whiten, cipher body, pad, and tag in one
+        # kernel call (pad and tag inputs are known before encryption).
+        # One fused pass builds the whitened blocks, the offsets, and the
+        # plaintext checksum together.
+        from_bytes = int.from_bytes
+        xs: list[int] = []
+        offs: list[int] = []
+        checksum = 0
+        pos = 0
+        for i in range(1, m + 1):
+            block = from_bytes(data[pos : pos + 16], "big")
+            off = offset0 ^ cum[i]
             checksum ^= block
-            out += (self._enc(block ^ offset) ^ offset).to_bytes(16, "big")
-        tail = plaintext[full_blocks * BLOCK_SIZE :]
+            xs.append(block ^ off)
+            offs.append(off)
+            pos += 16
         if tail:
             offset ^= self._l_star
-            pad = self._enc(offset)
-            pad_bytes = pad.to_bytes(16, "big")
-            out += bytes(p ^ k for p, k in zip(tail, pad_bytes))
-            padded = tail + b"\x80" + bytes(BLOCK_SIZE - len(tail) - 1)
-            checksum ^= int.from_bytes(padded, "big")
-        tag = self._enc(checksum ^ offset ^ self._l_dollar) ^ self._hash_ad(
-            associated_data
-        )
-        out += tag.to_bytes(16, "big")
-        return bytes(out)
+            xs.append(offset)
+            checksum ^= int.from_bytes(
+                tail + b"\x80" + bytes(BLOCK_SIZE - tail_len - 1), "big"
+            )
+        xs.append(checksum ^ offset ^ self._l_dollar)
+        enc = self._aes.encrypt_blocks_int(xs)
+        parts = [(c ^ o).to_bytes(16, "big") for c, o in zip(enc, offs)]
+        if tail:
+            pad = enc[m].to_bytes(16, "big")
+            parts.append(bytes(p ^ k for p, k in zip(tail, pad)))
+        tag = enc[-1]
+        if associated_data:
+            tag ^= self._hash_ad(associated_data)
+        parts.append(tag.to_bytes(16, "big"))
+        return b"".join(parts)
 
     def decrypt(
         self, nonce: bytes, ciphertext: bytes, associated_data: bytes = b""
@@ -173,28 +315,50 @@ class OCBCipher:
         """
         if len(ciphertext) < TAG_LEN:
             raise AuthenticationError("ciphertext shorter than the tag")
-        body, received_tag = ciphertext[:-TAG_LEN], ciphertext[-TAG_LEN:]
-        offset = self._initial_offset(nonce)
+        data = memoryview(ciphertext)
+        n = len(data) - TAG_LEN
+        body = data[:n]
+        offset0 = self._initial_offset(nonce)
+        m, tail_len = divmod(n, BLOCK_SIZE)
+        sched = self._schedule
+        parts: list[bytes] = []
         checksum = 0
-        out = bytearray()
-        full_blocks = len(body) // BLOCK_SIZE
-        for i in range(1, full_blocks + 1):
-            offset ^= self._l_table[_ntz(i)]
-            block = int.from_bytes(body[(i - 1) * BLOCK_SIZE : i * BLOCK_SIZE], "big")
-            plain = self._dec(block ^ offset) ^ offset
-            checksum ^= plain
-            out += plain.to_bytes(16, "big")
-        tail = body[full_blocks * BLOCK_SIZE :]
-        if tail:
+        offset = offset0
+        if m:
+            if sched.batch is not None and m >= _BATCH_MIN_BLOCKS_UNSEAL:
+                plain_body, checksum = self._decrypt_batch_body(offset0, body, m)
+                parts.append(plain_body)
+            else:
+                cum = sched.grow(m)
+                from_bytes = int.from_bytes
+                xs: list[int] = []
+                offs: list[int] = []
+                pos = 0
+                for i in range(1, m + 1):
+                    off = offset0 ^ cum[i]
+                    xs.append(from_bytes(body[pos : pos + 16], "big") ^ off)
+                    offs.append(off)
+                    pos += 16
+                append = parts.append
+                for dec, off in zip(self._aes.decrypt_blocks_int(xs), offs):
+                    plain = dec ^ off
+                    checksum ^= plain
+                    append(plain.to_bytes(16, "big"))
+            offset ^= sched.cumulative[m]
+        if tail_len:
+            tail = bytes(body[m * BLOCK_SIZE :])
             offset ^= self._l_star
-            pad = self._enc(offset).to_bytes(16, "big")
+            pad = self._aes.encrypt_block_int(offset).to_bytes(16, "big")
             plain_tail = bytes(c ^ k for c, k in zip(tail, pad))
-            out += plain_tail
-            padded = plain_tail + b"\x80" + bytes(BLOCK_SIZE - len(plain_tail) - 1)
-            checksum ^= int.from_bytes(padded, "big")
-        expected = self._enc(checksum ^ offset ^ self._l_dollar) ^ self._hash_ad(
-            associated_data
-        )
-        if not hmac.compare_digest(expected.to_bytes(16, "big"), received_tag):
+            parts.append(plain_tail)
+            checksum ^= int.from_bytes(
+                plain_tail + b"\x80" + bytes(BLOCK_SIZE - tail_len - 1), "big"
+            )
+        expected = self._aes.encrypt_block_int(checksum ^ offset ^ self._l_dollar)
+        if associated_data:
+            expected ^= self._hash_ad(associated_data)
+        if not hmac.compare_digest(
+            expected.to_bytes(16, "big"), bytes(data[n:])
+        ):
             raise AuthenticationError("OCB tag verification failed")
-        return bytes(out)
+        return b"".join(parts)

@@ -11,19 +11,25 @@ cache (§2.2): replayed packets re-apply a diff the receiver has already
 applied, which is a no-op, and the transport layer ignores stale sequence
 numbers for roaming purposes.
 
-:class:`NullSession` implements the same interface with no cryptography; it
-exists so the large-scale trace-replay experiments (tens of thousands of
-datagrams) can run quickly inside the deterministic network simulator.
-Real-UDP sessions always encrypt.
+:class:`NullSession` implements the same interface with no cryptography.
+It is an explicit opt-in (``--no-crypto`` in the trace-replay CLI,
+``encrypt=False`` on in-process sessions) kept for debugging and for
+isolating crypto cost in benchmarks; every harness defaults to real
+AES-128-OCB, as the paper's protocol requires, and real-UDP sessions
+always encrypt.
+
+Both session types keep :class:`CryptoStats` counters (datagrams/bytes
+sealed and unsealed, authentication failures) that the runtime bridges
+into reactor metrics.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.crypto.keys import Base64Key, Nonce
+from repro.crypto.keys import OCB_NONCE_PREFIX, Base64Key, Nonce
 from repro.crypto.ocb import TAG_LEN, OCBCipher
-from repro.errors import CryptoError
+from repro.errors import AuthenticationError, CryptoError
 
 _NONCE_WIRE_LEN = 8
 
@@ -39,12 +45,35 @@ class Message:
     text: bytes
 
 
+class CryptoStats:
+    """Counters for the sealing path of one session."""
+
+    __slots__ = (
+        "datagrams_sealed",
+        "bytes_sealed",
+        "datagrams_unsealed",
+        "bytes_unsealed",
+        "auth_failures",
+    )
+
+    def __init__(self) -> None:
+        self.datagrams_sealed = 0
+        self.bytes_sealed = 0
+        self.datagrams_unsealed = 0
+        self.bytes_unsealed = 0
+        self.auth_failures = 0
+
+    def snapshot(self) -> dict[str, int]:
+        return {name: getattr(self, name) for name in self.__slots__}
+
+
 class Session:
     """Seals and unseals datagrams with AES-128-OCB under one shared key."""
 
     def __init__(self, key: Base64Key) -> None:
         self._key = key
         self._cipher = OCBCipher(key.key)
+        self.stats = CryptoStats()
 
     @property
     def key(self) -> Base64Key:
@@ -52,33 +81,56 @@ class Session:
 
     def encrypt(self, message: Message) -> bytes:
         """Seal a message into wire bytes."""
-        if len(message.text) > MAX_PAYLOAD_LEN:
+        text = message.text
+        if len(text) > MAX_PAYLOAD_LEN:
             raise CryptoError(
-                f"payload of {len(message.text)} bytes exceeds "
+                f"payload of {len(text)} bytes exceeds "
                 f"{MAX_PAYLOAD_LEN}-byte bound"
             )
-        sealed = self._cipher.encrypt(message.nonce.ocb(), message.text)
+        sealed = self._cipher.encrypt(message.nonce.ocb(), text)
+        stats = self.stats
+        stats.datagrams_sealed += 1
+        stats.bytes_sealed += len(text)
         return message.nonce.wire() + sealed
 
     def decrypt(self, data: bytes) -> Message:
         """Unseal wire bytes; raises AuthenticationError on tampering."""
         if len(data) < _NONCE_WIRE_LEN + TAG_LEN:
             raise CryptoError(f"datagram too short to unseal: {len(data)} bytes")
-        nonce = Nonce.from_wire(data[:_NONCE_WIRE_LEN])
-        text = self._cipher.decrypt(nonce.ocb(), data[_NONCE_WIRE_LEN:])
-        return Message(nonce=nonce, text=text)
+        # One memoryview keeps the header split and the cipher's block
+        # walk copy-free; the 12-byte OCB nonce is built straight from the
+        # wire header rather than re-serializing a parsed Nonce.
+        view = memoryview(data)
+        wire = bytes(view[:_NONCE_WIRE_LEN])
+        try:
+            text = self._cipher.decrypt(
+                OCB_NONCE_PREFIX + wire, view[_NONCE_WIRE_LEN:]
+            )
+        except AuthenticationError:
+            self.stats.auth_failures += 1
+            raise
+        stats = self.stats
+        stats.datagrams_unsealed += 1
+        stats.bytes_unsealed += len(text)
+        return Message(nonce=Nonce.from_wire(wire), text=text)
 
 
 class NullSession:
-    """Plaintext stand-in for :class:`Session` (simulation only).
+    """Plaintext stand-in for :class:`Session` (explicit opt-in only).
 
     Keeps the exact wire framing (8-byte nonce header) but stores the
     payload unencrypted with a 16-byte zero "tag" so datagram sizes match
     the encrypted case, preserving bandwidth behaviour in simulations.
+
+    Simulation harnesses default to real encryption; reach for this only
+    via their explicit plaintext switches (``--no-crypto`` /
+    ``encrypt=False``) when isolating crypto cost or debugging wire
+    contents.
     """
 
     def __init__(self, key: Base64Key | None = None) -> None:
         self._key = key or Base64Key(bytes(16))
+        self.stats = CryptoStats()
 
     @property
     def key(self) -> Base64Key:
@@ -90,10 +142,15 @@ class NullSession:
                 f"payload of {len(message.text)} bytes exceeds "
                 f"{MAX_PAYLOAD_LEN}-byte bound"
             )
+        self.stats.datagrams_sealed += 1
+        self.stats.bytes_sealed += len(message.text)
         return message.nonce.wire() + message.text + bytes(TAG_LEN)
 
     def decrypt(self, data: bytes) -> Message:
         if len(data) < _NONCE_WIRE_LEN + TAG_LEN:
             raise CryptoError(f"datagram too short to unseal: {len(data)} bytes")
         nonce = Nonce.from_wire(data[:_NONCE_WIRE_LEN])
-        return Message(nonce=nonce, text=data[_NONCE_WIRE_LEN:-TAG_LEN])
+        text = data[_NONCE_WIRE_LEN:-TAG_LEN]
+        self.stats.datagrams_unsealed += 1
+        self.stats.bytes_unsealed += len(text)
+        return Message(nonce=nonce, text=text)

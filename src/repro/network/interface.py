@@ -166,6 +166,11 @@ class DatagramEndpoint(ABC):
     # ------------------------------------------------------------------
 
     @property
+    def session(self) -> Session | NullSession:
+        """The sealing session (its ``stats`` feed reactor metrics)."""
+        return self._session
+
+    @property
     def is_server(self) -> bool:
         return self._is_server
 

@@ -61,16 +61,20 @@ class Packet:
 
     def to_plaintext(self) -> bytes:
         """Serialize the sealed portion (everything but the nonce)."""
-        return _HEADER.pack(self.timestamp, self.timestamp_reply) + self.payload
+        header = _HEADER.pack(self.timestamp, self.timestamp_reply)
+        # Heartbeats are empty; skip the concat temporary for them.
+        return header + self.payload if self.payload else header
 
     @classmethod
     def from_plaintext(cls, nonce: Nonce, data: bytes) -> "Packet":
+        """Parse an unsealed body (bytes or memoryview, sliced only once)."""
         if len(data) < _HEADER.size:
             raise PacketError(f"packet body too short: {len(data)} bytes")
         timestamp, timestamp_reply = _HEADER.unpack_from(data)
+        payload = data[_HEADER.size :]
         return cls(
             nonce=nonce,
             timestamp=timestamp,
             timestamp_reply=timestamp_reply,
-            payload=data[_HEADER.size :],
+            payload=payload if isinstance(payload, bytes) else bytes(payload),
         )

@@ -29,6 +29,14 @@ class TransportPump:
         self._transport = transport
         self._timer: TimerHandle | None = None
         self._sent_seen = transport.endpoint.datagrams_sent
+        stats = transport.endpoint.session.stats
+        self._crypto_seen = (
+            stats.datagrams_sealed,
+            stats.bytes_sealed,
+            stats.datagrams_unsealed,
+            stats.bytes_unsealed,
+            stats.auth_failures,
+        )
         inner = transport.endpoint.on_datagram
 
         def on_datagram(now: float) -> None:
@@ -51,6 +59,25 @@ class TransportPump:
         sent = self._transport.endpoint.datagrams_sent
         metrics.datagrams_out += sent - self._sent_seen
         self._sent_seen = sent
+        # Bridge the session's crypto counters as deltas, so several pumps
+        # (or a pump restart) can share one metrics block safely. This runs
+        # every tick, so it stays straight-line attribute math.
+        stats = self._transport.endpoint.session.stats
+        seen = self._crypto_seen
+        crypto = (
+            stats.datagrams_sealed,
+            stats.bytes_sealed,
+            stats.datagrams_unsealed,
+            stats.bytes_unsealed,
+            stats.auth_failures,
+        )
+        if crypto != seen:
+            metrics.datagrams_sealed += crypto[0] - seen[0]
+            metrics.bytes_sealed += crypto[1] - seen[1]
+            metrics.datagrams_unsealed += crypto[2] - seen[2]
+            metrics.bytes_unsealed += crypto[3] - seen[3]
+            metrics.auth_failures += crypto[4] - seen[4]
+            self._crypto_seen = crypto
         wait = self._transport.wait_time(now)
         delay = MAX_TICK_DELAY_MS if wait is None else min(wait, MAX_TICK_DELAY_MS)
         self._timer = self._reactor.call_later(

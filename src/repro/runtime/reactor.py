@@ -38,6 +38,11 @@ class ReactorMetrics:
         "timer_lag_max_ms",
         "io_events",
         "frames_rendered",
+        "datagrams_sealed",
+        "bytes_sealed",
+        "datagrams_unsealed",
+        "bytes_unsealed",
+        "auth_failures",
     )
 
     def __init__(self) -> None:
@@ -56,6 +61,14 @@ class ReactorMetrics:
         self.io_events = 0
         #: Distinct frames presented to the user (display actually changed).
         self.frames_rendered = 0
+        #: Crypto counters, bridged from the endpoint's session by the pump:
+        #: datagrams/payload bytes sealed (sent) and unsealed (received),
+        #: plus inbound datagrams dropped for failing tag verification.
+        self.datagrams_sealed = 0
+        self.bytes_sealed = 0
+        self.datagrams_unsealed = 0
+        self.bytes_unsealed = 0
+        self.auth_failures = 0
 
     @property
     def timer_lag_avg_ms(self) -> float:
@@ -81,6 +94,11 @@ class ReactorMetrics:
             "timer_lag_max_ms": round(self.timer_lag_max_ms, 3),
             "io_events": self.io_events,
             "frames_rendered": self.frames_rendered,
+            "datagrams_sealed": self.datagrams_sealed,
+            "bytes_sealed": self.bytes_sealed,
+            "datagrams_unsealed": self.datagrams_unsealed,
+            "bytes_unsealed": self.bytes_unsealed,
+            "auth_failures": self.auth_failures,
         }
 
 

@@ -89,7 +89,7 @@ class InProcessSession:
         width: int = 80,
         height: int = 24,
         seed: int = 0,
-        encrypt: bool = False,
+        encrypt: bool = True,
         timing: SenderTiming | None = None,
         preference: DisplayPreference = DisplayPreference.ADAPTIVE,
     ) -> None:

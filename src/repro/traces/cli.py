@@ -54,9 +54,12 @@ def _cmd_info(args: argparse.Namespace) -> int:
 def _cmd_replay(args: argparse.Namespace) -> int:
     trace = load_trace(args.file)
     uplink, downlink = PROFILES[args.profile]()
+    crypto = "plaintext (NullSession)" if args.no_crypto else "AES-128-OCB"
     print(f"replaying {trace.name!r} ({trace.keystroke_count} keystrokes) "
-          f"over the {args.profile} profile ...")
-    mosh, _ = replay_mosh(trace, uplink, downlink, seed=args.seed)
+          f"over the {args.profile} profile, {crypto} ...")
+    mosh, _ = replay_mosh(
+        trace, uplink, downlink, seed=args.seed, encrypt=not args.no_crypto
+    )
     ssh, _ = replay_ssh(trace, uplink, downlink, seed=args.seed)
     print(mosh.summary().row("Mosh"))
     print(ssh.summary().row("SSH"))
@@ -87,6 +90,12 @@ def main(argv: list[str] | None = None) -> int:
     replay.add_argument("file")
     replay.add_argument("--profile", choices=sorted(PROFILES), default="evdo")
     replay.add_argument("--seed", type=int, default=1)
+    replay.add_argument(
+        "--no-crypto",
+        action="store_true",
+        help="opt out of AES-128-OCB and replay with the plaintext "
+        "NullSession (isolates crypto cost; not the paper's protocol)",
+    )
     replay.set_defaults(func=_cmd_replay)
 
     args = parser.parse_args(argv)

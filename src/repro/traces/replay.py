@@ -268,7 +268,7 @@ def replay_mosh(
     seed: int = 0,
     preference: DisplayPreference = DisplayPreference.ADAPTIVE,
     timing: SenderTiming | None = None,
-    encrypt: bool = False,
+    encrypt: bool = True,
     cross_traffic: bool = False,
     record_write_log: bool = False,
     settle_ms: float = _SETTLE_MS,

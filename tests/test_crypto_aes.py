@@ -1,9 +1,16 @@
-"""AES-128 against FIPS 197 and round-trip properties."""
+"""AES-128 against FIPS 197 / NIST SP 800-38A, plus kernel equivalence.
+
+The module ships three kernels that must agree bit-for-bit: the classic
+bytes-API word kernel, the int-domain batch kernel (``*_block_int`` /
+``*_blocks_int``), and the optional numpy batch backend. The vectors
+anchor the bytes API; the property tests pin the other two to it.
+"""
 
 import pytest
-from hypothesis import given
+from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.crypto import batch
 from repro.crypto.aes import AES128, INV_SBOX, SBOX
 from repro.errors import CryptoError
 
@@ -67,3 +74,96 @@ class TestBlockInterface:
         a = AES128(bytes(16)).encrypt_block(block)
         b = AES128(b"\x01" + bytes(15)).encrypt_block(block)
         assert a != b
+
+
+# NIST SP 800-38A F.1.1/F.1.2 (ECB-AES128): (plaintext, ciphertext).
+NIST_ECB_KEY = bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c")
+NIST_ECB_VECTORS = [
+    ("6bc1bee22e409f96e93d7e117393172a", "3ad77bb40d7a3660a89ecaf32466ef97"),
+    ("ae2d8a571e03ac9c9eb76fac45af8e51", "f5d3d58503b9699de785895a96fdbaaf"),
+    ("30c81c46a35ce411e5fbc1191a0a52ef", "43b1cd7f598ece23881b00e3ed030688"),
+    ("f69f2445df4f9b17ad2b417be66c3710", "7b0c785e27e8ad3f8223207104725dd4"),
+]
+
+
+class TestNistEcb:
+    @pytest.mark.parametrize("pt,ct", NIST_ECB_VECTORS)
+    def test_encrypt_decrypt(self, pt, ct):
+        cipher = AES128(NIST_ECB_KEY)
+        assert cipher.encrypt_block(bytes.fromhex(pt)).hex() == ct
+        assert cipher.decrypt_block(bytes.fromhex(ct)).hex() == pt
+
+    def test_int_kernel_matches_vectors(self):
+        cipher = AES128(NIST_ECB_KEY)
+        pts = [int(pt, 16) for pt, _ in NIST_ECB_VECTORS]
+        cts = [int(ct, 16) for _, ct in NIST_ECB_VECTORS]
+        assert cipher.encrypt_blocks_int(pts) == cts
+        assert cipher.decrypt_blocks_int(cts) == pts
+
+
+class TestIntKernel:
+    """The int-domain kernel must equal the bytes API on every input."""
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.binary(min_size=16, max_size=16), st.binary(min_size=16, max_size=16))
+    def test_single_block_equivalence(self, key, block):
+        cipher = AES128(key)
+        x = int.from_bytes(block, "big")
+        assert cipher.encrypt_block_int(x) == int.from_bytes(
+            cipher.encrypt_block(block), "big"
+        )
+        assert cipher.decrypt_block_int(x) == int.from_bytes(
+            cipher.decrypt_block(block), "big"
+        )
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.binary(min_size=16, max_size=16),
+        st.lists(st.integers(min_value=0, max_value=(1 << 128) - 1), max_size=20),
+    )
+    def test_multi_block_equals_singles(self, key, blocks):
+        cipher = AES128(key)
+        assert cipher.encrypt_blocks_int(blocks) == [
+            cipher.encrypt_block_int(b) for b in blocks
+        ]
+        assert cipher.decrypt_blocks_int(blocks) == [
+            cipher.decrypt_block_int(b) for b in blocks
+        ]
+
+    @given(st.integers(min_value=0, max_value=(1 << 128) - 1))
+    def test_roundtrip(self, x):
+        cipher = AES128(b"\x5A" * 16)
+        assert cipher.decrypt_block_int(cipher.encrypt_block_int(x)) == x
+
+    def test_accepts_any_iterable(self):
+        cipher = AES128(bytes(16))
+        from_gen = cipher.encrypt_blocks_int(i**3 for i in range(5))
+        assert from_gen == cipher.encrypt_blocks_int([i**3 for i in range(5)])
+
+
+@pytest.mark.skipif(not batch.available(), reason="numpy not installed")
+class TestBatchKernel:
+    """The numpy backend must equal the scalar kernel row-for-row."""
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        st.binary(min_size=16, max_size=16),
+        st.binary(min_size=16, max_size=16 * 40).filter(lambda b: len(b) % 16 == 0),
+    )
+    def test_batch_matches_scalar(self, key, data):
+        cipher = AES128(key)
+        kernel = batch.BatchAES(cipher)
+        state = batch.as_block_array(data)
+        enc = kernel.encrypt(state).tobytes()
+        dec = kernel.decrypt(state).tobytes()
+        for i in range(0, len(data), 16):
+            block = data[i : i + 16]
+            assert enc[i : i + 16] == cipher.encrypt_block(block)
+            assert dec[i : i + 16] == cipher.decrypt_block(block)
+
+    def test_nist_vectors_as_one_batch(self):
+        kernel = batch.BatchAES(AES128(NIST_ECB_KEY))
+        pts = bytes.fromhex("".join(pt for pt, _ in NIST_ECB_VECTORS))
+        cts = bytes.fromhex("".join(ct for _, ct in NIST_ECB_VECTORS))
+        assert kernel.encrypt(batch.as_block_array(pts)).tobytes() == cts
+        assert kernel.decrypt(batch.as_block_array(cts)).tobytes() == pts

@@ -126,6 +126,88 @@ class TestSession:
         assert session.decrypt(session.encrypt(message)) == message
 
 
+class TestNonceEncodingCache:
+    def test_wire_is_cached(self):
+        nonce = Nonce(DIRECTION_TO_SERVER, 42)
+        assert nonce.wire() is nonce.wire()
+
+    def test_ocb_is_cached(self):
+        nonce = Nonce(DIRECTION_TO_CLIENT, 42)
+        assert nonce.ocb() is nonce.ocb()
+
+    def test_from_wire_preserves_bytes(self):
+        wire = Nonce(DIRECTION_TO_CLIENT, 9001).wire()
+        assert Nonce.from_wire(wire).wire() == wire
+
+    def test_cache_does_not_leak_into_equality(self):
+        a = Nonce(DIRECTION_TO_SERVER, 3)
+        b = Nonce(DIRECTION_TO_SERVER, 3)
+        a.wire(), a.ocb()  # populate a's cache only
+        assert a == b
+        assert hash(a) == hash(b)
+
+
+class TestCryptoStats:
+    def test_seal_counters(self):
+        session = Session(Base64Key.new())
+        session.encrypt(Message(Nonce(0, 1), b"abcde"))
+        session.encrypt(Message(Nonce(0, 2), b""))
+        assert session.stats.datagrams_sealed == 2
+        assert session.stats.bytes_sealed == 5
+
+    def test_unseal_counters(self):
+        session = Session(Base64Key.new())
+        wire = session.encrypt(Message(Nonce(1, 7), b"0123456789"))
+        session.decrypt(wire)
+        assert session.stats.datagrams_unsealed == 1
+        assert session.stats.bytes_unsealed == 10
+
+    def test_auth_failure_counted_and_raised(self):
+        session = Session(Base64Key.new())
+        wire = bytearray(session.encrypt(Message(Nonce(0, 1), b"hello")))
+        wire[-1] ^= 0xFF
+        with pytest.raises(AuthenticationError):
+            session.decrypt(bytes(wire))
+        assert session.stats.auth_failures == 1
+        assert session.stats.datagrams_unsealed == 0
+
+    def test_short_datagram_is_not_an_auth_failure(self):
+        session = Session(Base64Key.new())
+        with pytest.raises(CryptoError):
+            session.decrypt(b"tiny")
+        assert session.stats.auth_failures == 0
+
+    def test_null_session_counts_too(self):
+        session = NullSession()
+        wire = session.encrypt(Message(Nonce(0, 1), b"abc"))
+        session.decrypt(wire)
+        snap = session.stats.snapshot()
+        assert snap["datagrams_sealed"] == 1
+        assert snap["bytes_unsealed"] == 3
+        assert snap["auth_failures"] == 0
+
+    def test_snapshot_names_exist_on_reactor_metrics(self):
+        """The pump bridges these counters by name into ReactorMetrics."""
+        from repro.runtime.reactor import ReactorMetrics
+
+        metrics = ReactorMetrics()
+        for name in Session(Base64Key.new()).stats.snapshot():
+            assert hasattr(metrics, name)
+
+    def test_counters_reach_reactor_metrics(self):
+        """End to end: sealing traffic shows up in the shared metrics."""
+        from repro.session.inprocess import InProcessSession
+        from repro.simnet.link import LinkConfig
+
+        session = InProcessSession(LinkConfig(), LinkConfig())
+        session.connect()
+        metrics = session.reactor.metrics
+        assert metrics.datagrams_sealed > 0
+        assert metrics.datagrams_unsealed > 0
+        assert metrics.auth_failures == 0
+        assert metrics.snapshot()["datagrams_sealed"] == metrics.datagrams_sealed
+
+
 class TestNullSession:
     def test_roundtrip(self):
         session = NullSession()

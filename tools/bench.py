@@ -2,14 +2,19 @@
 """Run the hot-path benchmarks and maintain ``BENCH_hotpath.json``.
 
 The committed ``BENCH_hotpath.json`` records the performance trajectory of
-the terminal→transport hot path:
+the terminal→transport hot path and the datagram sealing path:
 
-* ``baseline`` — the numbers measured before the copy-on-write /
-  memoization work (kept verbatim as the historical reference);
+* ``baseline`` — the numbers measured before each optimization pass
+  (kept verbatim as the historical reference);
 * ``current``  — the numbers for the committed tree;
 * ``speedup``  — baseline ÷ current, per scenario;
 * ``wire_sha256`` — a digest of a scripted session's diff bytes, which
   must never change without a deliberate wire-format revision.
+
+Scenarios come from two suites that share one results file: the
+terminal suite (``benchmarks/bench_hotpath.py``) and the crypto suite
+(``benchmarks/bench_crypto.py``, names prefixed ``aes_``/``ocb_``/
+``session_``). Both feed the same ``--check`` regression gate.
 
 Usage::
 
@@ -17,9 +22,12 @@ Usage::
     python tools/bench.py --quick            # fast smoke run
     python tools/bench.py --quick --check    # CI: fail on >2x regression
     python tools/bench.py --record-baseline  # overwrite "baseline" (rare)
+    python tools/bench.py --quick --profile  # cProfile, top functions
 
 ``--check`` never touches the committed file; pass ``--out`` to save the
 fresh measurements elsewhere (CI uploads that file as an artifact).
+``--profile`` runs the suites under cProfile and prints the top N
+functions by cumulative time instead of recording anything.
 """
 
 from __future__ import annotations
@@ -38,14 +46,25 @@ RESULTS_PATH = os.path.join(ROOT, "BENCH_hotpath.json")
 REGRESSION_FACTOR = float(os.environ.get("REPRO_BENCH_REGRESSION_FACTOR", "2.0"))
 
 
-def _load_bench_module():
-    sys.path.insert(0, os.path.join(ROOT, "src"))
-    path = os.path.join(ROOT, "benchmarks", "bench_hotpath.py")
-    spec = importlib.util.spec_from_file_location("bench_hotpath", path)
+def _load_bench_module(filename: str):
+    src = os.path.join(ROOT, "src")
+    if src not in sys.path:
+        sys.path.insert(0, src)
+    path = os.path.join(ROOT, "benchmarks", filename)
+    name = os.path.splitext(filename)[0]
+    spec = importlib.util.spec_from_file_location(name, path)
     module = importlib.util.module_from_spec(spec)
     assert spec.loader is not None
     spec.loader.exec_module(module)
     return module
+
+
+def _run_suites(quick: bool) -> dict:
+    """Run both suites; the crypto ops merge into the hot-path result."""
+    fresh = _load_bench_module("bench_hotpath.py").run_benchmarks(quick=quick)
+    crypto = _load_bench_module("bench_crypto.py").run_benchmarks(quick=quick)
+    fresh["ops"].update(crypto["ops"])
+    return fresh
 
 
 def _load_committed() -> dict:
@@ -114,14 +133,33 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--out", default=None, help="write results to this path instead"
     )
+    parser.add_argument(
+        "--profile",
+        type=int,
+        nargs="?",
+        const=25,
+        default=None,
+        metavar="N",
+        help="run under cProfile and print the top N functions by "
+        "cumulative time (default 25); records nothing",
+    )
     args = parser.parse_args(argv)
 
-    module = _load_bench_module()
     print(
         f"running hot-path benchmarks ({'quick' if args.quick else 'full'})…",
         file=sys.stderr,
     )
-    fresh = module.run_benchmarks(quick=args.quick)
+    if args.profile is not None:
+        import cProfile
+        import pstats
+
+        profiler = cProfile.Profile()
+        profiler.enable()
+        _run_suites(quick=args.quick)
+        profiler.disable()
+        pstats.Stats(profiler).sort_stats("cumulative").print_stats(args.profile)
+        return 0
+    fresh = _run_suites(quick=args.quick)
 
     doc = _load_committed()
     doc.setdefault("schema", 1)
