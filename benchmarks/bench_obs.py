@@ -1,0 +1,221 @@
+"""Observability microbenchmarks: the cost of being watched.
+
+The metrics registry and span tracer are *always on* in the reactor
+runtime, so their per-event cost is itself a hot-path number worth
+tracking. This suite times the individual instruments (counter bump,
+histogram record, span enter/exit) and — more importantly — measures the
+end-to-end overhead of the whole observability layer by running the same
+deterministic workloads with instrumentation enabled and disabled
+(:func:`repro.obs.set_enabled`), reporting the difference in percent.
+
+``*_overhead_pct`` scenarios are a different kind of number from the
+µs/op scenarios: ``tools/bench.py --check`` exempts them from the
+regression-ratio gate and instead asserts each stays at or below the
+acceptance bound (5 % by default, ``REPRO_BENCH_OVERHEAD_LIMIT_PCT`` to
+override on noisy hosts).
+
+The suite also reports the seal/unseal latency *histograms* a sealing
+session accumulates, so ``BENCH_hotpath.json`` carries p50/p99
+percentiles alongside the per-op means.
+
+Run via the CLI runner::
+
+    python tools/bench.py            # full run, updates BENCH_hotpath.json
+    python tools/bench.py --quick    # CI smoke run
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from repro.crypto.keys import DIRECTION_TO_SERVER, Base64Key, Nonce
+from repro.crypto.session import Message, Session
+from repro.obs.registry import Histogram, MetricsRegistry, set_enabled
+from repro.obs.trace import SpanTracer
+from repro.prediction.engine import DisplayPreference
+from repro.session.inprocess import InProcessSession
+from repro.simnet.link import LinkConfig
+
+#: (full iterations, quick iterations) per micro scenario.
+_SCALE = {"full": (20_000, 2_000), "quick": (4_000, 500)}
+
+_KEY = bytes(range(16))
+_PAYLOAD = bytes((7 * i + 13) & 0xFF for i in range(500))
+
+
+def _best_of(fn, iters: int, repeats: int = 3) -> float:
+    """Best per-op seconds over ``repeats`` timed batches of ``iters``."""
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        for _ in range(iters):
+            fn()
+        best = min(best, (time.perf_counter() - t0) / iters)
+    return best
+
+
+# ----------------------------------------------------------------------
+# Instrument micro-costs (µs/op)
+# ----------------------------------------------------------------------
+
+
+def bench_obs_counter_inc(iters: int) -> float:
+    counter = MetricsRegistry().counter("bench.counter")
+    return _best_of(lambda: counter.inc(), iters)
+
+
+def bench_obs_hist_record(iters: int) -> float:
+    hist = Histogram("bench.hist", low=0.01, high=60_000.0)
+    values = [0.3, 1.7, 12.0, 85.0, 430.0]
+    n = len(values)
+    state = [0]
+
+    def op() -> None:
+        state[0] = (state[0] + 1) % n
+        hist.record(values[state[0]])
+
+    return _best_of(op, iters)
+
+
+def bench_obs_span(iters: int) -> float:
+    clock = [0.0]
+
+    def now() -> float:
+        clock[0] += 0.01
+        return clock[0]
+
+    tracer = SpanTracer(now)
+
+    def op() -> None:
+        with tracer.span("bench"):
+            pass
+
+    return _best_of(op, iters)
+
+
+# ----------------------------------------------------------------------
+# End-to-end overhead (percent, measured A/B via set_enabled)
+# ----------------------------------------------------------------------
+
+
+def _typing_session_walltime() -> float:
+    """Wall seconds to type 60 echoed keystrokes through a simulation."""
+    session = InProcessSession(
+        LinkConfig(delay_ms=20.0),
+        LinkConfig(delay_ms=20.0),
+        seed=0,
+        preference=DisplayPreference.ALWAYS,
+    )
+    session.server.on_input = lambda data: session.server.host_write(data)
+    session.connect(warmup_ms=500.0)
+    t0 = time.perf_counter()
+    for i in range(60):
+        session.client.type_bytes(b"q" if i % 30 else b"\r")
+        session.run_for(40.0)
+    return time.perf_counter() - t0
+
+
+def _seal_walltime(iters: int) -> float:
+    """Wall seconds to seal+unseal ``iters`` datagrams through a Session."""
+    session = Session(Base64Key(_KEY))
+    t0 = time.perf_counter()
+    for seq in range(1, iters + 1):
+        message = Message(Nonce(DIRECTION_TO_SERVER, seq), _PAYLOAD)
+        session.decrypt(session.encrypt(message))
+    return time.perf_counter() - t0
+
+
+def _overhead_pct(workload, repeats: int) -> float:
+    """Best-of A/B: percent added by enabled instrumentation.
+
+    Batches alternate enabled/disabled so clock drift and cache warmth
+    hit both arms equally; each arm keeps its best (minimum) time.
+    """
+    on = off = float("inf")
+    try:
+        for _ in range(repeats):
+            set_enabled(True)
+            on = min(on, workload())
+            set_enabled(False)
+            off = min(off, workload())
+    finally:
+        set_enabled(True)
+    if off <= 0.0:
+        return 0.0
+    return max(0.0, round((on - off) / off * 100.0, 2))
+
+
+def bench_e2e_typing_overhead_pct(quick: bool) -> float:
+    return _overhead_pct(_typing_session_walltime, repeats=2 if quick else 3)
+
+
+def bench_seal_overhead_pct(quick: bool) -> float:
+    iters = 150 if quick else 600
+    return _overhead_pct(lambda: _seal_walltime(iters), repeats=2 if quick else 4)
+
+
+# ----------------------------------------------------------------------
+# Seal/unseal latency distributions
+# ----------------------------------------------------------------------
+
+
+def seal_histograms(quick: bool) -> dict[str, dict]:
+    """p50/p99 of per-datagram seal/unseal, from the live histograms."""
+    session = Session(Base64Key(_KEY))
+    iters = 100 if quick else 400
+    for seq in range(1, iters + 1):
+        message = Message(Nonce(DIRECTION_TO_SERVER, seq), _PAYLOAD)
+        session.decrypt(session.encrypt(message))
+    out = {}
+    for name, hist in (
+        ("session_seal_us", session.stats.seal_us),
+        ("session_unseal_us", session.stats.unseal_us),
+    ):
+        out[name] = {
+            "unit": hist.unit,
+            "count": hist.count,
+            "p50": round(hist.p50, 2),
+            "p99": round(hist.p99, 2),
+        }
+    return out
+
+
+# ----------------------------------------------------------------------
+# Harness entry point
+# ----------------------------------------------------------------------
+
+SCENARIOS = {
+    "obs_counter_inc": bench_obs_counter_inc,
+    "obs_hist_record": bench_obs_hist_record,
+    "obs_span": bench_obs_span,
+}
+
+OVERHEAD_SCENARIOS = {
+    "e2e_typing_overhead_pct": bench_e2e_typing_overhead_pct,
+    "seal_overhead_pct": bench_seal_overhead_pct,
+}
+
+
+def run_benchmarks(quick: bool = False, verbose: bool = True) -> dict:
+    """Run every scenario; returns {"ops", "histograms", "quick"}."""
+    iters_full, iters_quick = _SCALE["full"] if not quick else _SCALE["quick"]
+    iters = iters_quick if quick else iters_full
+    del iters_full, iters_quick
+    ops: dict[str, float] = {}
+    for name, fn in SCENARIOS.items():
+        seconds = fn(iters)
+        ops[name] = round(seconds * 1e6, 3)  # µs per op
+        if verbose:
+            print(f"  {name:<24} {ops[name]:>12.2f} µs/op", file=sys.stderr)
+    for name, fn in OVERHEAD_SCENARIOS.items():
+        ops[name] = fn(quick)
+        if verbose:
+            print(f"  {name:<24} {ops[name]:>12.2f} %", file=sys.stderr)
+    return {"quick": quick, "ops": ops, "histograms": seal_histograms(quick)}
+
+
+if __name__ == "__main__":
+    import json
+
+    print(json.dumps(run_benchmarks("--quick" in sys.argv), indent=2))

@@ -1,11 +1,17 @@
 #!/usr/bin/env python3
 """Server-push: a top-like dashboard refreshing itself over SSP.
 
-No keystrokes are involved — the server's screen changes on a timer and
-SSP ships paced frames to the client. Midway, the network dies: the client
-notices missing heartbeats and raises its warning bar; when the network
-heals, the dashboard catches up in one diff (SSP never replays the missed
-intermediate states).
+No application output depends on keystrokes — the server's screen changes
+on a timer and SSP ships paced frames to the client. Midway, the network
+dies: the client notices missing heartbeats and raises its warning bar;
+when the network heals, the dashboard catches up in one diff (SSP never
+replays the missed intermediate states).
+
+The whole run is observed through the unified metrics registry
+(``repro.obs``): at the end we print the live per-keystroke echo-latency
+histogram (the paper's Figure-2 distribution, measured in-session), the
+seal/unseal latency percentiles, and the simnet link gauges — all read
+from one ``registry.snapshot()`` document.
 
 Run:  python examples/monitor_dashboard.py
 """
@@ -17,6 +23,20 @@ from repro.session import InProcessSession
 from repro.simnet import LinkConfig
 
 
+def render_histogram(summary: dict, width: int = 40) -> list[str]:
+    """ASCII-render a histogram summary's sparse buckets."""
+    buckets = summary["buckets"]
+    if not buckets:
+        return ["   (empty)"]
+    peak = max(count for _, count in buckets)
+    lines = []
+    for bound, count in buckets:
+        label = "     +inf" if bound == "inf" else f"{float(bound):9.1f}"
+        bar = "#" * max(1, round(width * count / peak))
+        lines.append(f"   <{label} {summary['unit']} | {bar} {count}")
+    return lines
+
+
 def main() -> None:
     session = InProcessSession(
         LinkConfig(delay_ms=40.0), LinkConfig(delay_ms=40.0), seed=6
@@ -26,11 +46,17 @@ def main() -> None:
     session.connect()
 
     session.loop.run_until(6000)
-    frames_before = session.server.transport.sender.instructions_sent
     print("dashboard after 6 s (client copy):")
     for line in session.client.display().screen_text().splitlines()[:6]:
         if line.strip():
             print("  ", line.rstrip())
+
+    # The user types while the dashboard refreshes; each keystroke is
+    # stamped at UserStream ingestion and settled when the server's
+    # echo ack covers it, filling the live latency histogram.
+    for ch in b"monitor --sort cpu":
+        session.client.type_bytes(bytes([ch]))
+        session.loop.run_for(120)
 
     # The network goes dark for 15 seconds.
     healthy = session.network.downlink.config
@@ -51,20 +77,51 @@ def main() -> None:
     )
     print("warning bar cleared:",
           "Last contact" not in session.client.display().row_text(0))
-    del frames_before
 
-    # The reactor runtime keeps counters for the whole session: transport
-    # ticks, datagram traffic, timer behaviour, frames actually shown, and
-    # the crypto layer's sealing counters (every datagram is AES-128-OCB).
-    metrics = session.reactor.metrics
-    print("\nreactor runtime metrics:")
-    for name, value in metrics.snapshot().items():
-        print(f"   {name:>18}: {value}")
+    # One snapshot document covers every layer: reactor counters, crypto
+    # sealing histograms, sender pacing, RTT gauges, simnet links, and
+    # the keystroke pipeline.
+    doc = session.metrics_snapshot()
+    counters = doc["counters"]
+    gauges = doc["gauges"]
+    hists = doc["histograms"]
+
+    ks = hists["keystroke.echo_ms"]
+    print(f"\nper-keystroke echo latency over the {2 * 40.0:.0f} ms-RTT link")
     print(
-        f"\nall traffic rode sealed datagrams: {metrics.datagrams_sealed} "
-        f"sealed / {metrics.datagrams_unsealed} unsealed, "
-        f"{metrics.auth_failures} authentication failures"
+        f"   {ks['count']} keystrokes settled: "
+        f"p50={ks['p50']:.0f} ms  p95={ks['p95']:.0f} ms  "
+        f"p99={ks['p99']:.0f} ms"
     )
+    for line in render_histogram(ks):
+        print(line)
+
+    seal = hists["client.crypto.seal_us"]
+    unseal = hists["client.crypto.unseal_us"]
+    print("\ncrypto cost (client side, AES-128-OCB):")
+    print(
+        f"   seal   p50={seal['p50']:.0f} us  p99={seal['p99']:.0f} us  "
+        f"({seal['count']} datagrams)"
+    )
+    print(
+        f"   unseal p50={unseal['p50']:.0f} us  p99={unseal['p99']:.0f} us  "
+        f"({unseal['count']} datagrams)"
+    )
+
+    print("\nruntime counters:")
+    for name in (
+        "reactor.ticks", "reactor.datagrams_in", "reactor.datagrams_out",
+        "reactor.frames_rendered", "crypto.datagrams_sealed",
+        "crypto.auth_failures", "crypto.replay_drops",
+        "client.prediction.keystrokes",
+    ):
+        print(f"   {name:>28}: {counters[name]:.0f}")
+    print("\nlink + path gauges:")
+    for name in (
+        "client.network.srtt_ms", "simnet.downlink.packets_dropped_loss",
+        "simnet.downlink.packets_delivered",
+    ):
+        print(f"   {name:>38}: {gauges[name]:.1f}")
 
 
 if __name__ == "__main__":

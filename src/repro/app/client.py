@@ -14,6 +14,7 @@ socket and stdin, and paints whenever the core reports a display change.
 
 from __future__ import annotations
 
+import json
 import os
 import sys
 import termios
@@ -127,7 +128,32 @@ class ClientApp:
         finally:
             termios.tcsetattr(self._stdin_fd, termios.TCSADRAIN, old_attrs)
             self._stdout.write(b"\x1b[?1049l\r\n[repro-mosh] disconnected\r\n")
+            self._stdout.write(self.integrity_summary().encode() + b"\r\n")
             self._stdout.flush()
+
+    # ------------------------------------------------------------------
+    # Observability surface
+    # ------------------------------------------------------------------
+
+    def integrity_summary(self) -> str:
+        """One-line datagram-integrity report for the shutdown banner."""
+        stats = self.connection.session.stats
+        return (
+            f"[repro-mosh] integrity: {stats.auth_failures} auth failures, "
+            f"{stats.replay_drops} replay drops"
+        )
+
+    def write_metrics(self, path: str) -> dict:
+        """Dump the session's ``repro.obs/1`` snapshot as JSON."""
+        doc = self.reactor.registry.snapshot()
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(doc, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        return doc
+
+    def write_trace(self, path: str) -> int:
+        """Export the span ring as Chrome ``trace_event`` JSON."""
+        return self.reactor.tracer.export_chrome(path)
 
     def _user_requested_quit(self) -> bool:
         # The escape hatch: server silence beyond the warning threshold

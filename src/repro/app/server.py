@@ -13,6 +13,9 @@ loop watches the UDP socket and the pty.
 
 from __future__ import annotations
 
+import json
+import sys
+
 from repro.app.pty_host import PtyHost
 from repro.crypto.keys import Base64Key
 from repro.crypto.session import Session
@@ -89,6 +92,34 @@ class ServerApp:
                     break
         finally:
             self.shutdown()
+            # stdout carries the MOSH CONNECT bootstrap line, so the
+            # integrity report goes to stderr.
+            print(self.integrity_summary(), file=sys.stderr, flush=True)
+
+    # ------------------------------------------------------------------
+    # Observability surface
+    # ------------------------------------------------------------------
+
+    def integrity_summary(self) -> str:
+        """One-line datagram-integrity report for the shutdown banner."""
+        stats = self.connection.session.stats
+        return (
+            f"[repro-mosh-server] integrity: "
+            f"{stats.auth_failures} auth failures, "
+            f"{stats.replay_drops} replay drops"
+        )
+
+    def write_metrics(self, path: str) -> dict:
+        """Dump the session's ``repro.obs/1`` snapshot as JSON."""
+        doc = self.reactor.registry.snapshot()
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(doc, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        return doc
+
+    def write_trace(self, path: str) -> int:
+        """Export the span ring as Chrome ``trace_event`` JSON."""
+        return self.reactor.tracer.export_chrome(path)
 
     def shutdown(self) -> None:
         self.running = False

@@ -17,6 +17,34 @@ import sys
 import time
 
 
+def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--metrics-dump",
+        metavar="PATH",
+        default=None,
+        help="on exit, write the repro.obs/1 metrics snapshot as JSON",
+    )
+    parser.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help="on exit, write spans as Chrome trace_event JSON "
+        "(load in chrome://tracing or Perfetto)",
+    )
+
+
+def _dump_obs(app, args) -> None:
+    """Honor --metrics-dump/--trace for an app with a reactor."""
+    if args.metrics_dump:
+        app.write_metrics(args.metrics_dump)
+        print(f"[repro-mosh] metrics written to {args.metrics_dump}",
+              file=sys.stderr, flush=True)
+    if args.trace:
+        n = app.write_trace(args.trace)
+        print(f"[repro-mosh] {n} trace events written to {args.trace}",
+              file=sys.stderr, flush=True)
+
+
 def server_main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro-mosh-server", description="SSP terminal server"
@@ -28,6 +56,7 @@ def server_main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "command", nargs="*", help="command to run (default: $SHELL)"
     )
+    _add_obs_flags(parser)
     args = parser.parse_args(argv)
 
     from repro.app.server import ServerApp
@@ -41,6 +70,7 @@ def server_main(argv: list[str] | None = None) -> int:
     )
     print(app.connect_line(), flush=True)
     app.run()
+    _dump_obs(app, args)
     return 0
 
 
@@ -56,6 +86,7 @@ def client_main(argv: list[str] | None = None) -> int:
         choices=["adaptive", "always", "never", "experimental"],
         default="adaptive",
     )
+    _add_obs_flags(parser)
     args = parser.parse_args(argv)
 
     from repro.app.client import ClientApp
@@ -73,6 +104,7 @@ def client_main(argv: list[str] | None = None) -> int:
     )
     app.send_resize(size.columns, size.lines)
     app.run()
+    _dump_obs(app, args)
     return 0
 
 
@@ -126,6 +158,7 @@ def demo_main(argv: list[str] | None = None) -> int:
         "--command", default="echo hello from $0", help="line to type"
     )
     parser.add_argument("--seconds", type=float, default=3.0)
+    _add_obs_flags(parser)
     args = parser.parse_args(argv)
 
     import threading
@@ -163,6 +196,8 @@ def demo_main(argv: list[str] | None = None) -> int:
     screen = client.transport.remote_state.fb.screen_text()
     print("--- final client screen ---")
     print("\n".join(line.rstrip() for line in screen.splitlines() if line.strip()))
+    print(client.integrity_summary())
+    _dump_obs(client, args)
     client.close()
     server.running = False
     server.shutdown()

@@ -7,9 +7,15 @@ back. The wire layout of a sealed datagram is::
     N+16      OCB ciphertext of the payload, including the 16-byte tag
 
 Because every datagram is an idempotent state diff, SSP needs no replay
-cache (§2.2): replayed packets re-apply a diff the receiver has already
-applied, which is a no-op, and the transport layer ignores stale sequence
-numbers for roaming purposes.
+cache for *correctness* (§2.2): replayed packets re-apply a diff the
+receiver has already applied, which is a no-op, and the transport layer
+ignores stale sequence numbers for roaming purposes. The session still
+keeps a per-direction sliding replay window so that datagrams re-using an
+already-seen sequence number are counted and dropped
+(:class:`~repro.errors.ReplayError`) rather than silently re-processed —
+integrity anomalies must be observable, as the Terrapin attack on SSH
+demonstrated. The window is far wider than any realistic reordering, so
+jittered links never trip it.
 
 :class:`NullSession` implements the same interface with no cryptography.
 It is an explicit opt-in (``--no-crypto`` in the trace-replay CLI,
@@ -18,23 +24,31 @@ isolating crypto cost in benchmarks; every harness defaults to real
 AES-128-OCB, as the paper's protocol requires, and real-UDP sessions
 always encrypt.
 
-Both session types keep :class:`CryptoStats` counters (datagrams/bytes
-sealed and unsealed, authentication failures) that the runtime bridges
-into reactor metrics.
+Both session types keep :class:`CryptoStats` instruments: counters
+(datagrams/bytes sealed and unsealed, authentication failures, replay
+drops) plus always-on seal/unseal latency histograms in microseconds,
+which the runtime bridges into the reactor's metrics registry.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from time import perf_counter
 
 from repro.crypto.keys import OCB_NONCE_PREFIX, Base64Key, Nonce
 from repro.crypto.ocb import TAG_LEN, OCBCipher
-from repro.errors import AuthenticationError, CryptoError
+from repro.errors import AuthenticationError, CryptoError, ReplayError
+from repro.obs.registry import Histogram
 
 _NONCE_WIRE_LEN = 8
 
 #: Largest payload a session will seal; mirrors Mosh's receive buffer bound.
 MAX_PAYLOAD_LEN = 64 * 1024
+
+#: Sliding replay-window width, in sequence numbers, per direction. Far
+#: wider than SSP's in-flight budget (about one instruction per RTT), so
+#: only genuine duplicates or ancient replays can land outside it.
+REPLAY_WINDOW = 1024
 
 
 @dataclass(frozen=True)
@@ -46,7 +60,7 @@ class Message:
 
 
 class CryptoStats:
-    """Counters for the sealing path of one session."""
+    """Counters and latency histograms for one session's sealing path."""
 
     __slots__ = (
         "datagrams_sealed",
@@ -54,6 +68,20 @@ class CryptoStats:
         "datagrams_unsealed",
         "bytes_unsealed",
         "auth_failures",
+        "replay_drops",
+        "seal_us",
+        "unseal_us",
+    )
+
+    #: The counter names exposed by :meth:`snapshot` (the pump bridges
+    #: each of these into the reactor metrics by name).
+    COUNTER_NAMES = (
+        "datagrams_sealed",
+        "bytes_sealed",
+        "datagrams_unsealed",
+        "bytes_unsealed",
+        "auth_failures",
+        "replay_drops",
     )
 
     def __init__(self) -> None:
@@ -62,9 +90,45 @@ class CryptoStats:
         self.datagrams_unsealed = 0
         self.bytes_unsealed = 0
         self.auth_failures = 0
+        self.replay_drops = 0
+        # Wall-clock cost of each seal/unseal in microseconds (CPU cost,
+        # deliberately wall-time even on simulated-clock sessions).
+        # 1 µs .. 1 s spans the pure-python kernel across payload sizes.
+        self.seal_us = Histogram(
+            "crypto.seal_us", low=1.0, high=1_000_000.0, unit="us"
+        )
+        self.unseal_us = Histogram(
+            "crypto.unseal_us", low=1.0, high=1_000_000.0, unit="us"
+        )
 
     def snapshot(self) -> dict[str, int]:
-        return {name: getattr(self, name) for name in self.__slots__}
+        return {name: getattr(self, name) for name in self.COUNTER_NAMES}
+
+
+class _ReplayWindow:
+    """Per-direction sliding bitmap over authenticated sequence numbers."""
+
+    __slots__ = ("highest", "mask")
+
+    def __init__(self) -> None:
+        self.highest = -1
+        self.mask = 0  # bit i set <=> seq (highest - i) was seen
+
+    def note(self, seq: int) -> bool:
+        """Record ``seq``; returns False if it is a replay (drop it)."""
+        if seq > self.highest:
+            shift = seq - self.highest
+            self.mask = ((self.mask << shift) | 1) & ((1 << REPLAY_WINDOW) - 1)
+            self.highest = seq
+            return True
+        offset = self.highest - seq
+        if offset >= REPLAY_WINDOW:
+            return False  # too old to verify uniqueness: treat as replayed
+        bit = 1 << offset
+        if self.mask & bit:
+            return False
+        self.mask |= bit
+        return True
 
 
 class Session:
@@ -74,6 +138,10 @@ class Session:
         self._key = key
         self._cipher = OCBCipher(key.key)
         self.stats = CryptoStats()
+        # One replay window per direction bit: an endpoint normally
+        # decrypts only its peer's direction, but reflected datagrams are
+        # filtered *after* decryption and must not pollute the window.
+        self._replay = (_ReplayWindow(), _ReplayWindow())
 
     @property
     def key(self) -> Base64Key:
@@ -87,14 +155,17 @@ class Session:
                 f"payload of {len(text)} bytes exceeds "
                 f"{MAX_PAYLOAD_LEN}-byte bound"
             )
+        t0 = perf_counter()
         sealed = self._cipher.encrypt(message.nonce.ocb(), text)
         stats = self.stats
+        stats.seal_us.record((perf_counter() - t0) * 1e6)
         stats.datagrams_sealed += 1
         stats.bytes_sealed += len(text)
         return message.nonce.wire() + sealed
 
     def decrypt(self, data: bytes) -> Message:
-        """Unseal wire bytes; raises AuthenticationError on tampering."""
+        """Unseal wire bytes; raises AuthenticationError on tampering and
+        ReplayError on an authentic but sequence-reusing datagram."""
         if len(data) < _NONCE_WIRE_LEN + TAG_LEN:
             raise CryptoError(f"datagram too short to unseal: {len(data)} bytes")
         # One memoryview keeps the header split and the cipher's block
@@ -102,6 +173,7 @@ class Session:
         # wire header rather than re-serializing a parsed Nonce.
         view = memoryview(data)
         wire = bytes(view[:_NONCE_WIRE_LEN])
+        t0 = perf_counter()
         try:
             text = self._cipher.decrypt(
                 OCB_NONCE_PREFIX + wire, view[_NONCE_WIRE_LEN:]
@@ -110,9 +182,17 @@ class Session:
             self.stats.auth_failures += 1
             raise
         stats = self.stats
+        stats.unseal_us.record((perf_counter() - t0) * 1e6)
+        nonce = Nonce.from_wire(wire)
+        if not self._replay[nonce.direction].note(nonce.seq):
+            stats.replay_drops += 1
+            raise ReplayError(
+                f"replayed sequence number {nonce.seq} "
+                f"(direction {nonce.direction})"
+            )
         stats.datagrams_unsealed += 1
         stats.bytes_unsealed += len(text)
-        return Message(nonce=Nonce.from_wire(wire), text=text)
+        return Message(nonce=nonce, text=text)
 
 
 class NullSession:
@@ -121,6 +201,9 @@ class NullSession:
     Keeps the exact wire framing (8-byte nonce header) but stores the
     payload unencrypted with a 16-byte zero "tag" so datagram sizes match
     the encrypted case, preserving bandwidth behaviour in simulations.
+    The replay window is kept too, so integrity counters behave the same
+    in plaintext debugging runs (minus ``auth_failures``, which only real
+    authentication can raise).
 
     Simulation harnesses default to real encryption; reach for this only
     via their explicit plaintext switches (``--no-crypto`` /
@@ -131,6 +214,7 @@ class NullSession:
     def __init__(self, key: Base64Key | None = None) -> None:
         self._key = key or Base64Key(bytes(16))
         self.stats = CryptoStats()
+        self._replay = (_ReplayWindow(), _ReplayWindow())
 
     @property
     def key(self) -> Base64Key:
@@ -142,15 +226,28 @@ class NullSession:
                 f"payload of {len(message.text)} bytes exceeds "
                 f"{MAX_PAYLOAD_LEN}-byte bound"
             )
-        self.stats.datagrams_sealed += 1
-        self.stats.bytes_sealed += len(message.text)
-        return message.nonce.wire() + message.text + bytes(TAG_LEN)
+        t0 = perf_counter()
+        wire = message.nonce.wire() + message.text + bytes(TAG_LEN)
+        stats = self.stats
+        stats.seal_us.record((perf_counter() - t0) * 1e6)
+        stats.datagrams_sealed += 1
+        stats.bytes_sealed += len(message.text)
+        return wire
 
     def decrypt(self, data: bytes) -> Message:
         if len(data) < _NONCE_WIRE_LEN + TAG_LEN:
             raise CryptoError(f"datagram too short to unseal: {len(data)} bytes")
+        t0 = perf_counter()
         nonce = Nonce.from_wire(data[:_NONCE_WIRE_LEN])
         text = data[_NONCE_WIRE_LEN:-TAG_LEN]
-        self.stats.datagrams_unsealed += 1
-        self.stats.bytes_unsealed += len(text)
+        stats = self.stats
+        stats.unseal_us.record((perf_counter() - t0) * 1e6)
+        if not self._replay[nonce.direction].note(nonce.seq):
+            stats.replay_drops += 1
+            raise ReplayError(
+                f"replayed sequence number {nonce.seq} "
+                f"(direction {nonce.direction})"
+            )
+        stats.datagrams_unsealed += 1
+        stats.bytes_unsealed += len(text)
         return Message(nonce=nonce, text=text)

@@ -53,3 +53,11 @@ class ReactorError(ReproError):
 
 class TraceError(ReproError):
     """A keystroke trace is malformed or cannot be replayed."""
+
+
+class ObservabilityError(ReproError):
+    """The metrics registry or span tracer was used incorrectly."""
+
+
+class ReplayError(CryptoError):
+    """An authentic datagram re-used a sequence number and was dropped."""

@@ -1,0 +1,48 @@
+"""repro.obs — the unified observability layer.
+
+One subsystem, three instruments, wired through every layer of the
+runtime:
+
+* :class:`MetricsRegistry` — named counters, gauges, and fixed-bucket
+  log-spaced latency histograms (p50/p95/p99 accessors), cheap enough to
+  stay always-on in the seal/unseal and per-frame hot paths. Reactors own
+  one; :class:`~repro.runtime.ReactorMetrics` is now a thin view over it.
+* :class:`SpanTracer` — ``with tracer.span("seal")`` context managers
+  timed against the owning reactor's clock (simulated or wall), kept in a
+  bounded ring and exportable as Chrome ``trace_event`` JSON or JSONL.
+* :class:`KeystrokeLatencyTracker` — stamps each keystroke's UserStream
+  index at ingestion and settles it when a frame's echo-ack covers it,
+  so a live session emits the paper's Figure-2-style latency distribution
+  without trace replay.
+
+``snapshot()`` documents follow the :data:`SNAPSHOT_SCHEMA` layout and
+are checked by :func:`validate_snapshot` (CI validates the artifact each
+build). :func:`set_enabled` is the global kill switch the benchmark
+suite uses to measure instrumentation overhead A/B.
+"""
+
+from repro.obs.keystroke import KeystrokeLatencyTracker
+from repro.obs.registry import (
+    SNAPSHOT_SCHEMA,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    enabled,
+    set_enabled,
+    validate_snapshot,
+)
+from repro.obs.trace import SpanTracer
+
+__all__ = [
+    "SNAPSHOT_SCHEMA",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "KeystrokeLatencyTracker",
+    "MetricsRegistry",
+    "SpanTracer",
+    "enabled",
+    "set_enabled",
+    "validate_snapshot",
+]

@@ -1,0 +1,346 @@
+"""The metrics registry: named counters, gauges, and latency histograms.
+
+Every instrument is a tiny mutable object designed to stay always-on in
+the hot paths: a counter increment is one attribute add, a histogram
+record is one ``bisect`` into precomputed log-spaced bucket bounds. A
+:class:`MetricsRegistry` names and aggregates instruments so one
+``snapshot()`` call renders the whole runtime — reactor, transport,
+crypto, prediction, simulated links — as a single JSON document.
+
+Instruments can be created through the registry (``registry.counter``) or
+created free-standing (e.g. inside :class:`~repro.crypto.session.
+CryptoStats`, which has no registry in scope) and adopted later with
+:meth:`MetricsRegistry.register`; both paths return the same object on
+repeat lookups, so wiring is idempotent.
+
+A process-wide enable switch (:func:`set_enabled`) turns histogram
+recording and span tracing into near-no-ops; the benchmark suite uses it
+to measure the instrumentation's own overhead A/B in one process.
+Counters and gauges stay on either way — they predate this subsystem and
+existing behaviour depends on them.
+"""
+
+from __future__ import annotations
+
+import math
+from bisect import bisect_right
+from typing import Callable
+
+from repro.errors import ObservabilityError
+
+#: Schema tag stamped into every snapshot; bump on breaking layout changes.
+SNAPSHOT_SCHEMA = "repro.obs/1"
+
+_enabled = True
+
+
+def set_enabled(flag: bool) -> None:
+    """Globally enable/disable histogram recording and span tracing."""
+    global _enabled
+    _enabled = bool(flag)
+
+
+def enabled() -> bool:
+    """Whether histogram recording and span tracing are active."""
+    return _enabled
+
+
+class Counter:
+    """A monotonically growing (by convention) named number."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str, value: float = 0) -> None:
+        self.name = name
+        self.value = value
+
+    def inc(self, amount: float = 1) -> None:
+        """Add ``amount`` (one attribute add; safe on any hot path)."""
+        self.value += amount
+
+
+class Gauge:
+    """A named instantaneous value, optionally backed by a callable.
+
+    A plain gauge holds whatever :meth:`set` stored last; a callable
+    gauge (``fn`` given) reads its source at snapshot time, which lets
+    live quantities like simulated-link queue depth appear in snapshots
+    without per-packet bookkeeping.
+    """
+
+    __slots__ = ("name", "_value", "fn")
+
+    def __init__(
+        self, name: str, fn: Callable[[], float] | None = None
+    ) -> None:
+        self.name = name
+        self._value = 0.0
+        self.fn = fn
+
+    def set(self, value: float) -> None:
+        """Store the current value."""
+        self._value = value
+
+    @property
+    def value(self) -> float:
+        return float(self.fn()) if self.fn is not None else self._value
+
+
+class Histogram:
+    """Fixed log-spaced buckets with quantile accessors.
+
+    Bucket bounds are precomputed at construction: ``buckets`` bounds
+    spaced geometrically across ``[low, high]``, plus an overflow bucket.
+    Recording is ``bisect_right`` into that list — no allocation, so the
+    histogram can sit directly on the seal/unseal and keystroke paths.
+    Quantiles are answered from the bucket counts using each bucket's
+    geometric midpoint, which is exact to within one bucket's ratio
+    (≈12 % at the default resolution) — plenty for latency distributions
+    spanning decades.
+    """
+
+    __slots__ = ("name", "unit", "_bounds", "_counts", "count", "total", "min", "max")
+
+    def __init__(
+        self,
+        name: str,
+        low: float,
+        high: float,
+        buckets: int = 48,
+        unit: str = "ms",
+    ) -> None:
+        if low <= 0 or high <= low:
+            raise ObservabilityError(
+                f"histogram {name!r} needs 0 < low < high, got [{low}, {high}]"
+            )
+        if buckets < 2:
+            raise ObservabilityError(f"histogram {name!r} needs >= 2 buckets")
+        self.name = name
+        self.unit = unit
+        ratio = (high / low) ** (1.0 / (buckets - 1))
+        self._bounds = [low * ratio**i for i in range(buckets)]
+        self._counts = [0] * (buckets + 1)  # +1 overflow bucket
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = 0.0
+
+    def record(self, value: float) -> None:
+        """Fold one sample in (a no-op while observability is disabled)."""
+        if not _enabled:
+            return
+        self._counts[bisect_right(self._bounds, value)] += 1
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    # -- accessors ------------------------------------------------------
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, p: float) -> float:
+        """Approximate p-th percentile (0 < p <= 100) from the buckets."""
+        if not 0.0 < p <= 100.0:
+            raise ObservabilityError(f"percentile {p} outside (0, 100]")
+        if self.count == 0:
+            return 0.0
+        target = math.ceil(self.count * (p / 100.0))
+        seen = 0
+        for i, n in enumerate(self._counts):
+            seen += n
+            if seen >= target:
+                return self._bucket_mid(i)
+        return self._bucket_mid(len(self._counts) - 1)
+
+    def _bucket_mid(self, index: int) -> float:
+        bounds = self._bounds
+        if index == 0:
+            # Underflow bucket: everything below the lowest bound.
+            return bounds[0]
+        if index >= len(bounds):
+            # Overflow bucket: report the observed maximum.
+            return self.max
+        return math.sqrt(bounds[index - 1] * bounds[index])
+
+    @property
+    def p50(self) -> float:
+        return self.percentile(50.0)
+
+    @property
+    def p95(self) -> float:
+        return self.percentile(95.0)
+
+    @property
+    def p99(self) -> float:
+        return self.percentile(99.0)
+
+    def summary(self) -> dict:
+        """The snapshot form: counts, moments, and standard quantiles."""
+        return {
+            "unit": self.unit,
+            "count": self.count,
+            "sum": round(self.total, 3),
+            "min": round(self.min, 3) if self.count else 0.0,
+            "max": round(self.max, 3),
+            "mean": round(self.mean, 3),
+            "p50": round(self.p50, 3),
+            "p95": round(self.p95, 3),
+            "p99": round(self.p99, 3),
+            "buckets": self.nonzero_buckets(),
+        }
+
+    def nonzero_buckets(self) -> list[list[float]]:
+        """Sparse [upper_bound, count] pairs (overflow bound is +inf)."""
+        out: list[list[float]] = []
+        for i, n in enumerate(self._counts):
+            if n == 0:
+                continue
+            bound = (
+                self._bounds[i] if i < len(self._bounds) else math.inf
+            )
+            out.append([round(bound, 4) if bound != math.inf else "inf", n])
+        return out
+
+
+class MetricsRegistry:
+    """Names and aggregates instruments; renders them as one snapshot."""
+
+    def __init__(self) -> None:
+        self._instruments: dict[str, Counter | Gauge | Histogram] = {}
+
+    # -- get-or-create --------------------------------------------------
+
+    def counter(self, name: str) -> Counter:
+        """Get or create the counter called ``name``."""
+        return self._get_or_make(name, Counter, lambda: Counter(name))
+
+    def gauge(
+        self, name: str, fn: Callable[[], float] | None = None
+    ) -> Gauge:
+        """Get or create a gauge; ``fn`` makes it read live at snapshot."""
+        gauge = self._get_or_make(name, Gauge, lambda: Gauge(name, fn))
+        if fn is not None:
+            gauge.fn = fn
+        return gauge
+
+    def histogram(
+        self,
+        name: str,
+        low: float = 0.01,
+        high: float = 60_000.0,
+        buckets: int = 48,
+        unit: str = "ms",
+    ) -> Histogram:
+        """Get or create a log-bucket histogram spanning [low, high]."""
+        return self._get_or_make(
+            name, Histogram, lambda: Histogram(name, low, high, buckets, unit)
+        )
+
+    def _get_or_make(self, name, kind, make):
+        existing = self._instruments.get(name)
+        if existing is not None:
+            if not isinstance(existing, kind):
+                raise ObservabilityError(
+                    f"{name!r} already registered as "
+                    f"{type(existing).__name__}, not {kind.__name__}"
+                )
+            return existing
+        instrument = make()
+        self._instruments[name] = instrument
+        return instrument
+
+    # -- adoption -------------------------------------------------------
+
+    def register(self, instrument, name: str | None = None):
+        """Adopt a free-standing instrument under ``name`` (idempotent).
+
+        Components that create their own histograms without a registry in
+        scope (e.g. crypto session stats) are attached here by whichever
+        runtime shell wires them up.
+        """
+        key = name or instrument.name
+        existing = self._instruments.get(key)
+        if existing is instrument:
+            return instrument
+        if existing is not None:
+            raise ObservabilityError(
+                f"{key!r} already bound to a different instrument"
+            )
+        self._instruments[key] = instrument
+        return instrument
+
+    def get(self, name: str):
+        """The instrument called ``name``, or None."""
+        return self._instruments.get(name)
+
+    def names(self) -> list[str]:
+        """Sorted instrument names (tests and dashboards)."""
+        return sorted(self._instruments)
+
+    # -- rendering ------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """The whole registry as one JSON-ready document."""
+        counters: dict[str, float] = {}
+        gauges: dict[str, float] = {}
+        histograms: dict[str, dict] = {}
+        for name in sorted(self._instruments):
+            instrument = self._instruments[name]
+            if isinstance(instrument, Counter):
+                counters[name] = instrument.value
+            elif isinstance(instrument, Gauge):
+                gauges[name] = round(instrument.value, 4)
+            else:
+                histograms[name] = instrument.summary()
+        return {
+            "schema": SNAPSHOT_SCHEMA,
+            "counters": counters,
+            "gauges": gauges,
+            "histograms": histograms,
+        }
+
+
+_HIST_REQUIRED_KEYS = {
+    "unit", "count", "sum", "min", "max", "mean", "p50", "p95", "p99",
+    "buckets",
+}
+
+
+def validate_snapshot(doc: object) -> None:
+    """Raise :class:`ObservabilityError` unless ``doc`` is a valid snapshot.
+
+    Hand-rolled (no jsonschema dependency): checks the schema tag, the
+    section layout, numeric leaf types, and histogram summary shape. CI
+    runs this over the artifact every build.
+    """
+    if not isinstance(doc, dict):
+        raise ObservabilityError("snapshot must be a JSON object")
+    if doc.get("schema") != SNAPSHOT_SCHEMA:
+        raise ObservabilityError(
+            f"snapshot schema {doc.get('schema')!r} != {SNAPSHOT_SCHEMA!r}"
+        )
+    for section in ("counters", "gauges", "histograms"):
+        if not isinstance(doc.get(section), dict):
+            raise ObservabilityError(f"snapshot section {section!r} missing")
+    for section in ("counters", "gauges"):
+        for name, value in doc[section].items():
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                raise ObservabilityError(
+                    f"{section}[{name!r}] is {type(value).__name__}, "
+                    "expected a number"
+                )
+    for name, summary in doc["histograms"].items():
+        if not isinstance(summary, dict):
+            raise ObservabilityError(f"histograms[{name!r}] not an object")
+        missing = _HIST_REQUIRED_KEYS - summary.keys()
+        if missing:
+            raise ObservabilityError(
+                f"histograms[{name!r}] missing keys {sorted(missing)}"
+            )
+        if not isinstance(summary["buckets"], list):
+            raise ObservabilityError(f"histograms[{name!r}].buckets not a list")

@@ -5,10 +5,19 @@ next deadline". :class:`TransportPump` expresses that as a self-rescheduling
 reactor timer, and kicks immediately whenever the endpoint reports an
 authentic datagram — so both the simulated and the real paths are
 timer-driven through identical code.
+
+The pump is also where one endpoint's instruments join the reactor's
+observability substrate: it bridges the session's crypto counters and the
+sender's pacing counters into the shared registry as deltas, adopts the
+free-standing seal/unseal and frame-interval histograms under
+role-qualified names (``server.crypto.seal_us``, ``client.sender.
+frame_interval_ms``), publishes live SRTT/RTTVAR gauges, and wraps every
+tick in a ``{role}.tick`` span.
 """
 
 from __future__ import annotations
 
+from repro.obs.registry import MetricsRegistry
 from repro.runtime.reactor import Reactor, TimerHandle
 from repro.transport.transport import Transport
 
@@ -20,6 +29,33 @@ MAX_TICK_DELAY_MS = 3000.0
 #: clock in place (defense in depth; a due tick should always progress).
 MIN_TICK_DELAY_MS = 0.5
 
+#: Sender counters bridged into the registry, attribute -> short name.
+_SENDER_COUNTERS = (
+    ("instructions_sent", "instructions"),
+    ("empty_acks_sent", "empty_acks"),
+    ("piggybacked_acks", "piggybacked_acks"),
+    ("standalone_acks", "standalone_acks"),
+    ("datagrams_sent", "fragments"),
+    ("diff_cache_hits", "diff_cache_hits"),
+    ("diff_cache_misses", "diff_cache_misses"),
+)
+
+
+def _adopt(registry: MetricsRegistry, instrument, name: str):
+    """Register ``instrument`` under ``name``, suffixing on collision.
+
+    Two pumps of the same role on one reactor is unusual (tests, mostly)
+    but must not blow up the registry; the second set of instruments
+    lands under ``name#2`` and so on.
+    """
+    base = name
+    for attempt in range(2, 10):
+        existing = registry.get(name)
+        if existing is None or existing is instrument:
+            return registry.register(instrument, name)
+        name = f"{base}#{attempt}"
+    return instrument  # pathological collision count: leave it unregistered
+
 
 class TransportPump:
     """Self-scheduling pump binding one :class:`Transport` to a reactor."""
@@ -28,16 +64,23 @@ class TransportPump:
         self._reactor = reactor
         self._transport = transport
         self._timer: TimerHandle | None = None
-        self._sent_seen = transport.endpoint.datagrams_sent
-        stats = transport.endpoint.session.stats
+        endpoint = transport.endpoint
+        self.role = "server" if endpoint.is_server else "client"
+        self._sent_seen = endpoint.datagrams_sent
+        stats = endpoint.session.stats
         self._crypto_seen = (
             stats.datagrams_sealed,
             stats.bytes_sealed,
             stats.datagrams_unsealed,
             stats.bytes_unsealed,
             stats.auth_failures,
+            stats.replay_drops,
         )
-        inner = transport.endpoint.on_datagram
+        self._sender_seen = tuple(
+            getattr(transport.sender, attr) for attr, _ in _SENDER_COUNTERS
+        )
+        self._wire_observability(reactor, transport, stats)
+        inner = endpoint.on_datagram
 
         def on_datagram(now: float) -> None:
             reactor.metrics.datagrams_in += 1
@@ -45,16 +88,41 @@ class TransportPump:
                 inner(now)
             self.kick()
 
-        transport.endpoint.on_datagram = on_datagram
+        endpoint.on_datagram = on_datagram
+
+    def _wire_observability(self, reactor: Reactor, transport, stats) -> None:
+        """Adopt this endpoint's instruments into the shared registry."""
+        registry = reactor.registry
+        role = self.role
+        endpoint = transport.endpoint
+        _adopt(registry, stats.seal_us, f"{role}.crypto.seal_us")
+        _adopt(registry, stats.unseal_us, f"{role}.crypto.unseal_us")
+        _adopt(
+            registry,
+            transport.sender.frame_interval,
+            f"{role}.sender.frame_interval_ms",
+        )
+        # Live RTT gauges read the estimator at snapshot time, so pacing
+        # ticks pay nothing for them.
+        registry.gauge(f"{role}.network.srtt_ms", fn=lambda: endpoint.srtt)
+        registry.gauge(f"{role}.network.rttvar_ms", fn=lambda: endpoint.rttvar)
+        registry.gauge(f"{role}.network.rto_ms", fn=endpoint.rto)
+        self._sender_counters = tuple(
+            registry.counter(f"{role}.sender.{name}")
+            for _, name in _SENDER_COUNTERS
+        )
+        self._tick_span_name = f"{role}.tick"
 
     def kick(self) -> None:
         """Tick the transport now and re-arm from its next deadline."""
         if self._timer is not None:
             self._timer.cancel()
             self._timer = None
-        now = self._reactor.now()
-        self._transport.tick(now)
-        metrics = self._reactor.metrics
+        reactor = self._reactor
+        now = reactor.now()
+        with reactor.tracer.span(self._tick_span_name):
+            self._transport.tick(now)
+        metrics = reactor.metrics
         metrics.ticks += 1
         sent = self._transport.endpoint.datagrams_sent
         metrics.datagrams_out += sent - self._sent_seen
@@ -70,6 +138,7 @@ class TransportPump:
             stats.datagrams_unsealed,
             stats.bytes_unsealed,
             stats.auth_failures,
+            stats.replay_drops,
         )
         if crypto != seen:
             metrics.datagrams_sealed += crypto[0] - seen[0]
@@ -77,7 +146,16 @@ class TransportPump:
             metrics.datagrams_unsealed += crypto[2] - seen[2]
             metrics.bytes_unsealed += crypto[3] - seen[3]
             metrics.auth_failures += crypto[4] - seen[4]
+            metrics.replay_drops += crypto[5] - seen[5]
             self._crypto_seen = crypto
+        # Same delta treatment for the sender's pacing counters.
+        sender = self._transport.sender
+        seen = self._sender_seen
+        fresh = tuple(getattr(sender, attr) for attr, _ in _SENDER_COUNTERS)
+        if fresh != seen:
+            for counter, new, old in zip(self._sender_counters, fresh, seen):
+                counter.value += new - old
+            self._sender_seen = fresh
         wait = self._transport.wait_time(now)
         delay = MAX_TICK_DELAY_MS if wait is None else min(wait, MAX_TICK_DELAY_MS)
         self._timer = self._reactor.call_later(

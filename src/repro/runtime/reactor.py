@@ -1,10 +1,18 @@
-"""Reactors: timers + I/O readiness + metrics, simulated or real.
+"""Reactors: timers + I/O readiness + observability, simulated or real.
 
 A reactor is the runtime's notion of "the select() loop": it owns a clock,
 a timer heap with cheap cancellation (lazy deletion — ``cancel`` is O(1),
 the heap pop that skims dead entries is O(log n) amortized), optional
-file-descriptor readiness sources, and a :class:`ReactorMetrics` block of
-counters that dashboards and tests can read.
+file-descriptor readiness sources, and the session's observability
+substrate — a :class:`~repro.obs.MetricsRegistry` plus a
+:class:`~repro.obs.SpanTracer` timed by this reactor's clock, so
+simulated-time and wall-time sessions produce comparable traces.
+
+:class:`ReactorMetrics` survives as the legacy attribute API: every
+counter it exposes is now a thin view over a named registry instrument,
+so ``reactor.metrics.ticks += 1`` and
+``reactor.registry.counter("reactor.ticks")`` read and write the same
+number.
 
 Session cores (:mod:`repro.session.core`) are written against the abstract
 :class:`Reactor` only; whether time is simulated or real is decided by the
@@ -20,86 +28,110 @@ from typing import Callable
 
 from repro.clock import Clock, RealClock
 from repro.errors import ReactorError
+from repro.obs.registry import MetricsRegistry
+from repro.obs.trace import SpanTracer
 from repro.simnet.eventloop import EventLoop
 
 Callback = Callable[[], None]
 
 
 class ReactorMetrics:
-    """Per-reactor counters, cheap enough to always keep on."""
+    """Attribute views over the registry's per-reactor counters.
 
-    __slots__ = (
-        "ticks",
-        "datagrams_in",
-        "datagrams_out",
-        "timers_fired",
-        "timers_cancelled",
-        "timer_lag_total_ms",
-        "timer_lag_max_ms",
-        "io_events",
-        "frames_rendered",
-        "datagrams_sealed",
-        "bytes_sealed",
-        "datagrams_unsealed",
-        "bytes_unsealed",
-        "auth_failures",
-    )
+    The old always-on counter block, re-homed: each attribute is a
+    property backed by a named :class:`~repro.obs.Counter`, so existing
+    callers (``metrics.ticks += 1``, dashboards reading
+    ``metrics.auth_failures``) keep working while every value also
+    appears in ``registry.snapshot()`` under its qualified name.
+    """
 
-    def __init__(self) -> None:
-        #: Transport ticks pumped through this reactor.
-        self.ticks = 0
-        #: Authentic datagrams delivered to / sent by endpoints on this reactor.
-        self.datagrams_in = 0
-        self.datagrams_out = 0
-        #: Timer callbacks run, timers cancelled while still pending.
-        self.timers_fired = 0
-        self.timers_cancelled = 0
+    #: attribute -> registry counter name. Crypto counters are bridged
+    #: from the endpoint's session by the pump: datagrams/payload bytes
+    #: sealed (sent) and unsealed (received), inbound datagrams dropped
+    #: for failing tag verification, and authentic-but-replayed datagrams
+    #: dropped by the replay window.
+    COUNTERS = {
+        "ticks": "reactor.ticks",
+        "datagrams_in": "reactor.datagrams_in",
+        "datagrams_out": "reactor.datagrams_out",
+        "timers_fired": "reactor.timers_fired",
+        "timers_cancelled": "reactor.timers_cancelled",
+        "io_events": "reactor.io_events",
+        "frames_rendered": "reactor.frames_rendered",
+        "datagrams_sealed": "crypto.datagrams_sealed",
+        "bytes_sealed": "crypto.bytes_sealed",
+        "datagrams_unsealed": "crypto.datagrams_unsealed",
+        "bytes_unsealed": "crypto.bytes_unsealed",
+        "auth_failures": "crypto.auth_failures",
+        "replay_drops": "crypto.replay_drops",
+    }
+
+    def __init__(self, registry: MetricsRegistry | None = None) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._counters = {
+            attr: self.registry.counter(name)
+            for attr, name in self.COUNTERS.items()
+        }
         #: Lateness of timer callbacks (fire time minus scheduled time).
-        self.timer_lag_total_ms = 0.0
-        self.timer_lag_max_ms = 0.0
-        #: File-descriptor readiness callbacks dispatched (real reactor only).
-        self.io_events = 0
-        #: Distinct frames presented to the user (display actually changed).
-        self.frames_rendered = 0
-        #: Crypto counters, bridged from the endpoint's session by the pump:
-        #: datagrams/payload bytes sealed (sent) and unsealed (received),
-        #: plus inbound datagrams dropped for failing tag verification.
-        self.datagrams_sealed = 0
-        self.bytes_sealed = 0
-        self.datagrams_unsealed = 0
-        self.bytes_unsealed = 0
-        self.auth_failures = 0
+        #: 10 µs..1 min spans sim (zero-lag) through a loaded select loop.
+        self.timer_lag = self.registry.histogram(
+            "reactor.timer_lag_ms", low=0.01, high=60_000.0, unit="ms"
+        )
+        self._timers_fired = self._counters["timers_fired"]
 
     @property
     def timer_lag_avg_ms(self) -> float:
-        if self.timers_fired == 0:
-            return 0.0
-        return self.timer_lag_total_ms / self.timers_fired
+        return self.timer_lag.mean
+
+    @property
+    def timer_lag_total_ms(self) -> float:
+        return self.timer_lag.total
+
+    @property
+    def timer_lag_max_ms(self) -> float:
+        return self.timer_lag.max
 
     def note_timer_fired(self, lag_ms: float) -> None:
-        self.timers_fired += 1
-        self.timer_lag_total_ms += lag_ms
-        if lag_ms > self.timer_lag_max_ms:
-            self.timer_lag_max_ms = lag_ms
+        self._timers_fired.value += 1
+        self.timer_lag.record(lag_ms)
 
     def snapshot(self) -> dict[str, float]:
-        """A plain-dict view for dashboards and logs."""
-        return {
-            "ticks": self.ticks,
-            "datagrams_in": self.datagrams_in,
-            "datagrams_out": self.datagrams_out,
-            "timers_fired": self.timers_fired,
-            "timers_cancelled": self.timers_cancelled,
-            "timer_lag_avg_ms": round(self.timer_lag_avg_ms, 3),
-            "timer_lag_max_ms": round(self.timer_lag_max_ms, 3),
-            "io_events": self.io_events,
-            "frames_rendered": self.frames_rendered,
-            "datagrams_sealed": self.datagrams_sealed,
-            "bytes_sealed": self.bytes_sealed,
-            "datagrams_unsealed": self.datagrams_unsealed,
-            "bytes_unsealed": self.bytes_unsealed,
-            "auth_failures": self.auth_failures,
-        }
+        """The legacy flat-dict view for dashboards and logs.
+
+        ``registry.snapshot()`` is the full structured document; this
+        keeps the original key set (plus ``replay_drops``) stable.
+        """
+        out: dict[str, float] = {}
+        for attr in (
+            "ticks", "datagrams_in", "datagrams_out",
+            "timers_fired", "timers_cancelled",
+        ):
+            out[attr] = self._counters[attr].value
+        out["timer_lag_avg_ms"] = round(self.timer_lag_avg_ms, 3)
+        out["timer_lag_max_ms"] = round(self.timer_lag_max_ms, 3)
+        for attr in (
+            "io_events", "frames_rendered",
+            "datagrams_sealed", "bytes_sealed",
+            "datagrams_unsealed", "bytes_unsealed",
+            "auth_failures", "replay_drops",
+        ):
+            out[attr] = self._counters[attr].value
+        return out
+
+
+def _counter_view(attr: str) -> property:
+    def _get(self: ReactorMetrics) -> float:
+        return self._counters[attr].value
+
+    def _set(self: ReactorMetrics, value: float) -> None:
+        self._counters[attr].value = value
+
+    return property(_get, _set)
+
+
+for _attr in ReactorMetrics.COUNTERS:
+    setattr(ReactorMetrics, _attr, _counter_view(_attr))
+del _attr
 
 
 class TimerHandle:
@@ -125,10 +157,16 @@ class TimerHandle:
 
 
 class Reactor(ABC):
-    """Timers + I/O sources + metrics over some notion of time."""
+    """Timers + I/O sources + observability over some notion of time."""
 
-    def __init__(self) -> None:
-        self.metrics = ReactorMetrics()
+    def __init__(self, registry: MetricsRegistry | None = None) -> None:
+        #: The session-wide metrics registry; every layer's instruments
+        #: aggregate here and render through ``registry.snapshot()``.
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.metrics = ReactorMetrics(self.registry)
+        #: Span tracer timed by this reactor's clock (``now`` is abstract
+        #: but only sampled at span time, after subclass init completes).
+        self.tracer = SpanTracer(self.now)
 
     @abstractmethod
     def now(self) -> float:

@@ -21,6 +21,7 @@ from typing import Callable
 from repro.input.events import Resize, UserBytes
 from repro.input.userstream import UserStream
 from repro.network.interface import DatagramEndpoint
+from repro.obs.keystroke import KeystrokeLatencyTracker
 from repro.prediction.engine import DisplayPreference, PredictionEngine
 from repro.prediction.overlays import NotificationEngine
 from repro.runtime.pump import TransportPump
@@ -75,9 +76,11 @@ class ServerCore:
         """
         stream = self.transport.remote_state
         events = stream.events_since(self._processed_events)
+        tracer = self.reactor.tracer
         for offset, event in enumerate(events, start=self._processed_events + 1):
             if isinstance(event, UserBytes):
                 self.terminal.register_input(offset, now)
+                tracer.instant("server.input", cat="keystroke", index=offset)
                 if self.on_input is not None:
                     self.on_input(event.data)
             elif isinstance(event, Resize):
@@ -167,6 +170,15 @@ class ClientCore:
         # is alive. The pump chains this hook ahead of its own kick.
         endpoint.on_datagram = self.notifications.server_heard
         self._pump = TransportPump(reactor, self.transport)
+        #: Per-keystroke echo latency: stamped at UserStream ingestion in
+        #: :meth:`type_bytes`, settled when a frame's echo-ack covers the
+        #: event index — the live form of the paper's Figure 2.
+        self.keystrokes = KeystrokeLatencyTracker(reactor.registry)
+        self._prediction_seen = self._prediction_counts()
+        self._prediction_counters = {
+            name: reactor.registry.counter(f"client.prediction.{name}")
+            for name in self._prediction_seen
+        }
         #: Display-change subscribers (renderers, the latency harness).
         self.on_display_change: Callable[[float], None] | None = None
         self._last_display: Framebuffer | None = None
@@ -189,9 +201,44 @@ class ClientCore:
     def _srtt(self) -> float:
         return self.transport.endpoint.srtt_estimate()
 
+    def _prediction_counts(self) -> dict[str, int]:
+        stats = self.predictor.stats
+        return {
+            name: getattr(stats, name)
+            for name in (
+                "keystrokes",
+                "predictions_made",
+                "displayed_immediately",
+                "confirmed",
+                "mispredicted",
+                "background_misses",
+                "epochs",
+            )
+        }
+
+    def _bridge_prediction_stats(self) -> None:
+        """Mirror :class:`PredictionStats` deltas into the registry."""
+        fresh = self._prediction_counts()
+        seen = self._prediction_seen
+        if fresh != seen:
+            for name, value in fresh.items():
+                self._prediction_counters[name].value += value - seen[name]
+            self._prediction_seen = fresh
+
     def _on_new_frame(self, now: float) -> None:
         state = self.remote_terminal
+        tracer = self.reactor.tracer
+        for index, latency_ms in self.keystrokes.on_echo_ack(
+            state.echo_ack, now
+        ):
+            tracer.instant(
+                "client.echo",
+                cat="keystroke",
+                index=index,
+                latency_ms=round(latency_ms, 3),
+            )
         self.predictor.report_frame(state.fb, state.echo_ack, now, self._srtt())
+        self._bridge_prediction_stats()
         self._note_display(now)
 
     def _note_display(self, now: float) -> None:
@@ -221,9 +268,14 @@ class ClientCore:
         """Send keystrokes; returns per-byte 'displayed instantly' flags."""
         now = self.reactor.now()
         stream = self.transport.local_state
+        tracer = self.reactor.tracer
         flags: list[bool] = []
         for byte in data:
             stream.push_event(UserBytes(bytes([byte])))
+            self.keystrokes.stamp(stream.total_count, now)
+            tracer.instant(
+                "client.keystroke", cat="keystroke", index=stream.total_count
+            )
             flags.append(
                 self.predictor.new_user_byte(
                     byte,
@@ -233,6 +285,7 @@ class ClientCore:
                     self._srtt(),
                 )
             )
+        self._bridge_prediction_stats()
         self._pump.kick()
         self._note_display(now)
         return flags

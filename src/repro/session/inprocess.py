@@ -15,6 +15,8 @@ the same cores to a :class:`~repro.runtime.RealReactor`.
 
 from __future__ import annotations
 
+import json
+
 from repro.crypto.keys import Base64Key
 from repro.crypto.session import NullSession, Session
 from repro.prediction.engine import DisplayPreference
@@ -118,6 +120,44 @@ class InProcessSession:
             preference,
             reactor=self.reactor,
         )
+        self._wire_link_gauges()
+
+    def _wire_link_gauges(self) -> None:
+        """Publish both simnet links into the shared registry.
+
+        Queue depth is a live callable gauge (read at snapshot time);
+        the drop/delivery counts are gauges too because the links keep
+        their own counters and there is no tick site to bridge deltas.
+        """
+        registry = self.reactor.registry
+        for name, link in (("uplink", self.network.uplink),
+                           ("downlink", self.network.downlink)):
+            registry.gauge(f"simnet.{name}.queue_bytes", fn=link.queue_depth_bytes)
+            for counter in ("packets_sent", "packets_dropped_loss",
+                            "packets_dropped_queue", "packets_delivered",
+                            "bytes_delivered"):
+                registry.gauge(
+                    f"simnet.{name}.{counter}",
+                    fn=(lambda lnk=link, attr=counter: getattr(lnk, attr)),
+                )
+
+    # -- observability exports ------------------------------------------
+
+    def metrics_snapshot(self) -> dict:
+        """The session-wide ``repro.obs/1`` snapshot document."""
+        return self.reactor.registry.snapshot()
+
+    def write_metrics(self, path: str) -> dict:
+        """Dump :meth:`metrics_snapshot` as JSON; returns the document."""
+        doc = self.metrics_snapshot()
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(doc, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        return doc
+
+    def write_trace(self, path: str) -> int:
+        """Export the span ring as Chrome ``trace_event`` JSON."""
+        return self.reactor.tracer.export_chrome(path)
 
     def run_for(self, duration_ms: float) -> None:
         """Advance the simulation by ``duration_ms``."""

@@ -25,6 +25,7 @@ from dataclasses import dataclass
 from typing import Generic, TypeVar
 
 from repro.network.interface import DatagramEndpoint
+from repro.obs.registry import Histogram
 from repro.transport.fragment import Fragmenter
 from repro.transport.instruction import Instruction
 from repro.transport.state import StateObject
@@ -92,6 +93,13 @@ class TransportSender(Generic[S]):
         self.datagrams_sent = 0
         self.diff_cache_hits = 0
         self.diff_cache_misses = 0
+        # Observed pacing: gap between consecutive outgoing instructions.
+        # The paper's frame rate floors at SRTT/2 (capped 20..250 ms), so
+        # the histogram shows whether pacing actually tracked the path.
+        self.frame_interval = Histogram(
+            "sender.frame_interval_ms", low=0.1, high=60_000.0, unit="ms"
+        )
+        self._last_instruction_at: float | None = None
         # (time, num, diff len) ring buffer so long recording sessions
         # cannot grow memory without bound.
         self.send_log: deque[tuple[float, int, int]] = deque(maxlen=SEND_LOG_MAX)
@@ -333,5 +341,8 @@ class TransportSender(Generic[S]):
             self._endpoint.send(fragment.encode(), now)
             self.datagrams_sent += 1
         self.instructions_sent += 1
+        if self._last_instruction_at is not None:
+            self.frame_interval.record(now - self._last_instruction_at)
+        self._last_instruction_at = now
         if self.record_send_log:
             self.send_log.append((now, new_num, len(diff)))

@@ -148,6 +148,31 @@ class TestFullSession:
             os.close(write_fd)
             os.close(read_fd)
 
+    def test_tampered_datagrams_counted_and_summarized(self):
+        """Garbage UDP at the server's port shows up as auth failures in
+        the integrity summary and the bridged reactor metrics."""
+        import socket
+
+        server = ServerApp(argv=["/bin/sh"], bind_host="127.0.0.1")
+        attacker = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+        try:
+            # Long enough to pass the length check, wrong key for the tag.
+            attacker.sendto(bytes(64), ("127.0.0.1", server.connection.port))
+            stats = server.connection.session.stats
+            deadline = time.monotonic() + 5.0
+            while time.monotonic() < deadline and stats.auth_failures == 0:
+                server.step(timeout_ms=10.0)
+            assert stats.auth_failures == 1
+            assert "1 auth failures" in server.integrity_summary()
+            assert "0 replay drops" in server.integrity_summary()
+            server.core.kick()  # bridge the delta into the reactor metrics
+            assert server.reactor.metrics.auth_failures == 1
+            doc = server.reactor.registry.snapshot()
+            assert doc["counters"]["crypto.auth_failures"] == 1
+        finally:
+            attacker.close()
+            server.shutdown()
+
     def test_connect_line_format(self):
         server = ServerApp(argv=["/bin/sh"], bind_host="127.0.0.1")
         try:

@@ -17,6 +17,7 @@ PUBLIC_MODULES = [
     "repro.errors",
     "repro.input",
     "repro.network",
+    "repro.obs",
     "repro.prediction",
     "repro.runtime",
     "repro.session",
@@ -78,6 +79,10 @@ class TestDocstrings:
             "repro.runtime.reactor.RealReactor",
             "repro.simnet.tcp.TcpEndpoint",
             "repro.traces.replay.ReplayResult",
+            "repro.obs.registry.MetricsRegistry",
+            "repro.obs.registry.Histogram",
+            "repro.obs.trace.SpanTracer",
+            "repro.obs.keystroke.KeystrokeLatencyTracker",
         ],
     )
     def test_key_classes_documented(self, cls_path):

@@ -109,6 +109,84 @@ class TestSimRealParity:
         assert sim_client_fb.screen_text() == real_client_fb.screen_text()
         assert "echo hi" in sim_client_fb.screen_text()
 
+    def test_span_trace_parity_sim_vs_real(self):
+        """The same paced script yields the same keystroke event sequence.
+
+        Timestamps differ (simulated vs wall clock), but the ordered
+        (name, index) lifecycle — client.keystroke → server.input →
+        client.echo, once per keystroke — must be identical on both
+        runtimes. Keystrokes are paced so each settles before the next
+        is typed, making the interleaving deterministic.
+        """
+        script = b"obs"
+        expected = []
+        for i in range(1, len(script) + 1):
+            expected += [
+                ("client.keystroke", i), ("server.input", i), ("client.echo", i)
+            ]
+
+        def keystroke_sequence(tracer):
+            return [
+                (e["name"], e["args"]["index"])
+                for e in tracer.events(cat="keystroke")
+            ]
+
+        # Simulated runtime.
+        session = InProcessSession(
+            LinkConfig(delay_ms=20.0), LinkConfig(delay_ms=20.0), seed=5
+        )
+        session.server.on_input = lambda d: session.server.host_write(
+            scripted_echo(d)
+        )
+        session.connect()
+        for ch in script:
+            session.client.type_bytes(bytes([ch]))
+            deadline = session.loop.now() + 5000.0
+            while (
+                session.client.keystrokes.outstanding
+                and session.loop.now() < deadline
+            ):
+                session.loop.run_for(10.0)
+        sim_sequence = keystroke_sequence(session.reactor.tracer)
+
+        # Real runtime: loopback UDP, wall clock, same cores.
+        key = Base64Key.new()
+        server_conn = UdpConnection(
+            Session(key), is_server=True, bind_host="127.0.0.1"
+        )
+        client_conn = UdpConnection(
+            Session(key), is_server=False, bind_host="127.0.0.1"
+        )
+        client_conn.set_remote_addr(("127.0.0.1", server_conn.port))
+        reactor = RealReactor()
+        server = ServerCore(reactor, server_conn)
+        client = ClientCore(reactor, client_conn)
+        try:
+            reactor.add_reader(server_conn.fileno(), server_conn.receive_ready)
+            reactor.add_reader(client_conn.fileno(), client_conn.receive_ready)
+            server.on_input = lambda d: server.host_write(scripted_echo(d))
+            server.kick()
+            client.kick()
+            deadline = reactor.now() + 5000.0
+            while (
+                reactor.now() < deadline
+                and client.transport.remote_state_num == 0
+            ):
+                reactor.run_once(10.0)
+            assert client.transport.remote_state_num > 0, "never connected"
+            for ch in script:
+                client.type_bytes(bytes([ch]))
+                deadline = reactor.now() + 5000.0
+                while client.keystrokes.outstanding and reactor.now() < deadline:
+                    reactor.run_once(10.0)
+            real_sequence = keystroke_sequence(reactor.tracer)
+        finally:
+            server_conn.close()
+            client_conn.close()
+
+        assert sim_sequence == expected
+        assert real_sequence == expected
+
     def test_reactor_metrics_populated_on_both_paths(self):
         session = InProcessSession(
             LinkConfig(delay_ms=20.0), LinkConfig(delay_ms=20.0), seed=4

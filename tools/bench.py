@@ -11,10 +11,15 @@ the terminal→transport hot path and the datagram sealing path:
 * ``wire_sha256`` — a digest of a scripted session's diff bytes, which
   must never change without a deliberate wire-format revision.
 
-Scenarios come from two suites that share one results file: the
-terminal suite (``benchmarks/bench_hotpath.py``) and the crypto suite
+Scenarios come from three suites that share one results file: the
+terminal suite (``benchmarks/bench_hotpath.py``), the crypto suite
 (``benchmarks/bench_crypto.py``, names prefixed ``aes_``/``ocb_``/
-``session_``). Both feed the same ``--check`` regression gate.
+``session_``), and the observability suite (``benchmarks/bench_obs.py``,
+names prefixed ``obs_``). All feed the same ``--check`` regression gate,
+with one twist: ``*_overhead_pct`` scenarios are percentages, not µs/op —
+the gate asserts each stays at or below ``REPRO_BENCH_OVERHEAD_LIMIT_PCT``
+(default 5) instead of comparing ratios. The obs suite also contributes a
+``histograms`` section (seal/unseal p50/p99) to the results file.
 
 Usage::
 
@@ -45,6 +50,12 @@ RESULTS_PATH = os.path.join(ROOT, "BENCH_hotpath.json")
 #: number. Generous because CI hardware differs from the recording host.
 REGRESSION_FACTOR = float(os.environ.get("REPRO_BENCH_REGRESSION_FACTOR", "2.0"))
 
+#: Acceptance bound for ``*_overhead_pct`` scenarios: the always-on
+#: observability layer may add at most this much to an uninstrumented run.
+OVERHEAD_LIMIT_PCT = float(
+    os.environ.get("REPRO_BENCH_OVERHEAD_LIMIT_PCT", "5.0")
+)
+
 
 def _load_bench_module(filename: str):
     src = os.path.join(ROOT, "src")
@@ -60,10 +71,13 @@ def _load_bench_module(filename: str):
 
 
 def _run_suites(quick: bool) -> dict:
-    """Run both suites; the crypto ops merge into the hot-path result."""
+    """Run all suites; crypto and obs ops merge into the hot-path result."""
     fresh = _load_bench_module("bench_hotpath.py").run_benchmarks(quick=quick)
     crypto = _load_bench_module("bench_crypto.py").run_benchmarks(quick=quick)
     fresh["ops"].update(crypto["ops"])
+    obs = _load_bench_module("bench_obs.py").run_benchmarks(quick=quick)
+    fresh["ops"].update(obs["ops"])
+    fresh["histograms"] = obs["histograms"]
     return fresh
 
 
@@ -94,6 +108,14 @@ def _check(committed: dict, fresh: dict) -> int:
         got_us = fresh["ops"].get(name)
         if got_us is None:
             failures.append(f"{name}: scenario missing from this build")
+        elif name.endswith("_overhead_pct"):
+            # Percent-overhead scenarios gate against an absolute bound,
+            # not a ratio: host noise makes 0.4 % vs 0.2 % meaningless.
+            if got_us > OVERHEAD_LIMIT_PCT:
+                failures.append(
+                    f"{name}: {got_us:.2f} % instrumentation overhead "
+                    f"(bound {OVERHEAD_LIMIT_PCT:g} %)"
+                )
         elif got_us > ref_us * REGRESSION_FACTOR:
             failures.append(
                 f"{name}: {got_us:.1f} µs/op vs committed {ref_us:.1f} µs/op "
@@ -164,6 +186,7 @@ def main(argv: list[str] | None = None) -> int:
     doc = _load_committed()
     doc.setdefault("schema", 1)
     doc["geometry"] = fresh["geometry"]
+    doc["histograms"] = fresh["histograms"]
     if args.record_baseline:
         doc["baseline"] = fresh["ops"]
         doc["baseline_quick"] = fresh["quick"]

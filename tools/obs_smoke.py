@@ -1,0 +1,124 @@
+#!/usr/bin/env python3
+"""Observability smoke run: a live session that proves the instruments work.
+
+Runs a short scripted typing session through an in-process simulation
+over a lossy link, then:
+
+* writes the span ring as Chrome ``trace_event`` JSON (``--trace``),
+* writes the ``repro.obs/1`` metrics snapshot (``--metrics``),
+* validates the snapshot against the schema, and
+* asserts the acceptance checks the ISSUE demands of a live session —
+  the per-keystroke echo-latency histogram carries p50/p95/p99, the
+  seal/unseal histograms counted real datagrams, and the keystroke
+  lifecycle appears in the trace.
+
+CI runs this every build and uploads both files as artifacts; exit
+status is nonzero on any violated check, so the pipeline fails loudly
+when instrumentation rots.
+
+Usage::
+
+    python tools/obs_smoke.py --trace trace.json --metrics metrics.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(ROOT, "src"))
+
+from repro.obs.registry import validate_snapshot  # noqa: E402
+from repro.session.inprocess import InProcessSession  # noqa: E402
+from repro.simnet.link import LinkConfig  # noqa: E402
+
+
+def run_session() -> InProcessSession:
+    """Type a command, echoed by the server, over a lossy 80 ms-RTT path."""
+    session = InProcessSession(
+        LinkConfig(delay_ms=40.0, loss=0.1),
+        LinkConfig(delay_ms=40.0, loss=0.1),
+        seed=7,
+    )
+    session.server.on_input = lambda data: session.server.host_write(data)
+    session.connect()
+    for ch in b"echo observability works\n":
+        session.client.type_bytes(bytes([ch]))
+        session.run_for(160.0)
+    session.run_for(3000.0)  # let retransmissions settle every keystroke
+    return session
+
+
+def check(session: InProcessSession, doc: dict) -> list[str]:
+    """The live-session acceptance checks; returns failure messages."""
+    failures: list[str] = []
+    hists = doc["histograms"]
+
+    ks = hists.get("keystroke.echo_ms")
+    if ks is None or ks["count"] == 0:
+        failures.append("keystroke.echo_ms histogram is missing or empty")
+    else:
+        for q in ("p50", "p95", "p99"):
+            if not ks[q] > 0:
+                failures.append(f"keystroke.echo_ms {q} is not positive")
+
+    for name in (
+        "client.crypto.seal_us", "client.crypto.unseal_us",
+        "server.crypto.seal_us", "server.crypto.unseal_us",
+    ):
+        if hists.get(name, {}).get("count", 0) == 0:
+            failures.append(f"{name} histogram counted no datagrams")
+
+    events = session.reactor.tracer.events(cat="keystroke")
+    names = {event["name"] for event in events}
+    for expected in ("client.keystroke", "server.input", "client.echo"):
+        if expected not in names:
+            failures.append(f"trace lacks {expected!r} keystroke events")
+
+    if doc["counters"]["crypto.auth_failures"] != 0:
+        failures.append("unexpected auth failures on a clean link")
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--trace", default="trace.json", metavar="PATH")
+    parser.add_argument("--metrics", default="metrics.json", metavar="PATH")
+    args = parser.parse_args(argv)
+
+    session = run_session()
+    doc = session.write_metrics(args.metrics)
+    events = session.write_trace(args.trace)
+    validate_snapshot(doc)
+    # The artifact on disk must round-trip through JSON unchanged.
+    with open(args.metrics, encoding="utf-8") as fh:
+        validate_snapshot(json.load(fh))
+    with open(args.trace, encoding="utf-8") as fh:
+        chrome = json.load(fh)
+    assert len(chrome["traceEvents"]) == events
+
+    failures = check(session, doc)
+    ks = doc["histograms"]["keystroke.echo_ms"]
+    print(
+        f"observability smoke: {events} trace events -> {args.trace}, "
+        f"{len(doc['counters'])} counters / {len(doc['gauges'])} gauges / "
+        f"{len(doc['histograms'])} histograms -> {args.metrics}"
+    )
+    print(
+        f"  keystroke echo latency: n={ks['count']} p50={ks['p50']:.0f} ms "
+        f"p95={ks['p95']:.0f} ms p99={ks['p99']:.0f} ms"
+    )
+    if failures:
+        print("observability smoke FAILED:")
+        for line in failures:
+            print(f"  - {line}")
+        return 1
+    print("all live-session observability checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
