@@ -18,6 +18,7 @@ Run:  python examples/monitor_dashboard.py
 
 from random import Random
 
+from repro.analysis.flight import merge_recordings
 from repro.apps.monitor import MonitorApp
 from repro.session import InProcessSession
 from repro.simnet import LinkConfig
@@ -122,6 +123,46 @@ def main() -> None:
         "simnet.downlink.packets_delivered",
     ):
         print(f"   {name:>38}: {gauges[name]:.1f}")
+
+    # The wire panel: merge both endpoints' in-memory flight recordings
+    # into per-packet fates — no files, no estimation; the simulator's
+    # link observer logged the ground truth of every drop.
+    print("\nwire panel (flight recorder):")
+    records, _ = merge_recordings(*session.flight_recordings())
+    for direction in ("c2s", "s2c"):
+        mine = [r for r in records if r.direction == direction]
+        terminal = [r for r in mine if r.fate != "in_flight"]
+        dead = sum(1 for r in terminal if r.fate in ("dropped", "lost"))
+        loss_pct = 100.0 * dead / len(terminal) if terminal else 0.0
+        reordered = sum(1 for r in mine if r.reordered)
+        dups = sum(r.duplicate_arrivals for r in mine)
+        strip = "".join(_FATE_GLYPHS.get(_fate_key(r), "?") for r in mine[-48:])
+        print(
+            f"   {direction}: {len(mine)} sent, loss {loss_pct:.1f}%, "
+            f"reordered {reordered}, duplicate arrivals {dups}"
+        )
+        print(f"      last packets: [{strip}]")
+    print("      legend: . delivered  ~ reordered  X lost  Q queue-drop  "
+          "? in flight")
+
+
+#: One glyph per packet in the fate strip.
+_FATE_GLYPHS = {
+    "delivered": ".",
+    "reordered": "~",
+    "loss": "X",
+    "queue": "Q",
+    "lost": "X",
+    "in_flight": "?",
+}
+
+
+def _fate_key(record) -> str:
+    if record.fate == "delivered":
+        return "reordered" if record.reordered else "delivered"
+    if record.fate == "dropped":
+        return record.drop_reason or "lost"
+    return record.fate
 
 
 if __name__ == "__main__":

@@ -1,6 +1,15 @@
-"""Statistics and charting helpers used by the evaluation harness."""
+"""Statistics, charting, and flight-log analysis for the evaluation harness."""
 
 from repro.analysis.charts import ascii_cdf, ascii_curve
+from repro.analysis.flight import (
+    REPORT_SCHEMA,
+    PacketRecord,
+    analyze,
+    check,
+    export_chrome,
+    merge_recordings,
+    render_report,
+)
 from repro.analysis.stats import (
     LatencySummary,
     cdf_points,
@@ -13,12 +22,19 @@ from repro.analysis.stats import (
 
 __all__ = [
     "LatencySummary",
+    "PacketRecord",
+    "REPORT_SCHEMA",
+    "analyze",
     "ascii_cdf",
     "ascii_curve",
     "cdf_points",
+    "check",
+    "export_chrome",
     "mean",
     "median",
+    "merge_recordings",
     "percentile",
+    "render_report",
     "stddev",
     "summarize_latencies",
 ]

@@ -1,0 +1,530 @@
+"""Cross-endpoint flight-log merge: two recordings, one causal timeline.
+
+Each endpoint's :class:`~repro.obs.flight.FlightRecorder` logs only what it
+can see locally, like QUIC's qlog. This module joins a client recording
+with a server recording by ``(direction, seq)`` — the cleartext sequence
+number travels in the nonce, so both sides agree on it — and reconstructs
+the fate of every datagram either side ever sent:
+
+* **delivered** — the receiver logged an authentic ``recv`` for the seq;
+* **explicit drop** — someone logged the terminal fate: the sending side's
+  link observer (``loss`` / ``queue`` on the simulator, ``send_err`` on a
+  real socket) or the receiving side's unseal path (``auth`` / ``replay``
+  / ``reflect`` / ``bad_packet``);
+* **lost (inferred)** — no record of arrival, but a *later-sent* datagram
+  in the same direction did arrive, so this one is presumed dead (real
+  links don't confess their drops);
+* **in-flight** — nothing later arrived either; the recording simply
+  ended first. Sums are partitioned: ``sent == delivered + lost +
+  in_flight`` per direction, with duplicate arrivals (the replay window's
+  kills of link-duplicated copies of already-delivered seqs) tallied
+  separately so nothing is counted twice.
+
+Clock alignment: two recordings from one simulator share the clock
+(offset 0). Real endpoints each log their own monotonic milliseconds, so
+the offset is estimated NTP-style from the minimum apparent one-way
+delays: ``offset = (min c2s delta - min s2c delta) / 2`` maps server time
+onto the client's axis assuming the fastest packet in each direction saw
+symmetric delay.
+
+The analyzer also audits the sender's own RTT estimator: every ``recv``
+event carries the RTT sample the 16-bit timestamp echo produced plus the
+SRTT/RTO the estimator held at that moment, so the merge can assert
+``|sample - srtt| <= rto`` — a sample outside its own retransmission
+timeout means the echo math (or the wraparound handling) broke.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+from repro.analysis.stats import mean, percentile
+from repro.errors import ObservabilityError
+from repro.obs.flight import (
+    DIR_C2S,
+    DIR_S2C,
+    DIRECTIONS,
+    FLIGHT_SCHEMA,
+    validate_flight_log,
+)
+
+#: Schema tag on the merged-report document.
+REPORT_SCHEMA = "repro.obs.flight.report/1"
+
+#: A receive gap beyond three heartbeat intervals (3 s each) means the
+#: peer went quiet long past its keepalive schedule — flagged as anomaly.
+HEARTBEAT_GAP_MS = 9000.0
+
+#: The unseal replay window is 1024 seqs wide; an authentic arrival more
+#: than this far behind the newest seen should have been impossible.
+REPLAY_WINDOW = 1024
+
+#: Drop reasons charged to the sending endpoint's recording.
+_SENDER_DROPS = ("loss", "queue", "send_err")
+
+
+@dataclass
+class PacketRecord:
+    """One datagram's reconstructed life, on the merged timeline."""
+
+    direction: str
+    seq: int
+    send_t: float | None = None
+    recv_t: float | None = None  # receiver clock, unadjusted
+    size: int = 0
+    fate: str = "in_flight"  # delivered | dropped | lost | in_flight
+    drop_reason: str | None = None
+    owd_ms: float | None = None  # one-way delay after clock alignment
+    reordered: bool = False
+    duplicate_arrivals: int = 0
+    meta: dict = field(default_factory=dict)  # instruction/fragment fields
+
+
+def _split(events: list[dict]) -> dict[str, dict[str, list[dict]]]:
+    """Index events as [direction][kind] -> ordered event list."""
+    out: dict[str, dict[str, list[dict]]] = {
+        d: {"send": [], "recv": [], "drop": [], "inst": []} for d in DIRECTIONS
+    }
+    for event in events:
+        out[event["dir"]][event["ev"]].append(event)
+    return out
+
+
+def merge_recordings(
+    client: tuple[dict, list[dict]],
+    server: tuple[dict, list[dict]],
+) -> tuple[list[PacketRecord], float]:
+    """Join the two recordings into per-packet records.
+
+    Returns ``(records, clock_offset_ms)`` where the offset maps server
+    timestamps onto the client's clock axis (``t_client = t_server -
+    offset``). Both inputs are validated against :data:`FLIGHT_SCHEMA`.
+    """
+    client_header, client_events = client
+    server_header, server_events = server
+    validate_flight_log(client_header, client_events)
+    validate_flight_log(server_header, server_events)
+    if client_header.get("role") == server_header.get("role"):
+        raise ObservabilityError(
+            "cannot merge two recordings from the same role "
+            f"({client_header.get('role')!r})"
+        )
+    by_client = _split(client_events)
+    by_server = _split(server_events)
+
+    records: list[PacketRecord] = []
+    for direction in DIRECTIONS:
+        if direction == DIR_C2S:
+            sender, receiver = by_client[direction], by_server[direction]
+        else:
+            sender, receiver = by_server[direction], by_client[direction]
+        records.extend(_merge_direction(direction, sender, receiver))
+
+    offset = _clock_offset(client_header, server_header, records)
+    for record in records:
+        if record.send_t is None or record.recv_t is None:
+            continue
+        recv_aligned = (
+            record.recv_t - offset if record.direction == DIR_C2S
+            else record.recv_t + offset
+        )
+        record.owd_ms = recv_aligned - record.send_t
+    return records, offset
+
+
+def _merge_direction(
+    direction: str,
+    sender: dict[str, list[dict]],
+    receiver: dict[str, list[dict]],
+) -> list[PacketRecord]:
+    records: dict[int, PacketRecord] = {}
+    for event in sender["send"]:
+        seq = event["seq"]
+        record = records.setdefault(seq, PacketRecord(direction, seq))
+        record.send_t = event["t"]
+        record.size = event["len"]
+        record.meta = {
+            k: event[k]
+            for k in ("old", "new", "ack", "tw", "dlen",
+                      "frag_id", "frag_idx", "final")
+            if k in event
+        }
+
+    # Arrivals win: an authentic recv makes the packet delivered no matter
+    # what else was logged about its seq (a replay drop of the same seq is
+    # a link-duplicated *copy*, tallied separately below).
+    for event in receiver["recv"]:
+        record = records.get(event["seq"])
+        if record is None:
+            continue  # recording wrapped past the send; can't place it
+        record.recv_t = event["t"]
+        record.fate = "delivered"
+        if event.get("reorder"):
+            record.reordered = True
+
+    # Explicit terminal fates: the simulator's link observer and the real
+    # socket log drops on the sending side; the unseal path logs forgery /
+    # replay / parse failures on the receiving side.
+    for source, reasons in ((sender, _SENDER_DROPS), (receiver, None)):
+        for event in source["drop"]:
+            reason = event["reason"]
+            if reasons is not None and reason not in reasons:
+                continue
+            if reasons is None and reason in _SENDER_DROPS:
+                continue
+            seq = event.get("seq")
+            record = records.get(seq) if seq is not None else None
+            if record is None:
+                continue
+            if record.fate == "delivered":
+                if reason == "replay":
+                    record.duplicate_arrivals += 1
+                continue
+            record.fate = "dropped"
+            record.drop_reason = reason
+
+    # Infer loss for the rest: a later-sent packet that arrived proves the
+    # path outlived this one, so silence means death, not transit.
+    last_delivered_seq = max(
+        (r.seq for r in records.values() if r.fate == "delivered"),
+        default=-1,
+    )
+    for record in records.values():
+        if record.fate == "in_flight" and record.seq < last_delivered_seq:
+            record.fate = "lost"
+    return sorted(records.values(), key=lambda r: r.seq)
+
+
+def _clock_offset(
+    client_header: dict, server_header: dict, records: list[PacketRecord]
+) -> float:
+    """Server-minus-client clock offset, in milliseconds."""
+    if (
+        client_header.get("clock") == "sim"
+        and server_header.get("clock") == "sim"
+    ):
+        return 0.0  # one simulated clock drives both recorders
+    deltas = {DIR_C2S: [], DIR_S2C: []}
+    for record in records:
+        if record.send_t is not None and record.recv_t is not None:
+            deltas[record.direction].append(record.recv_t - record.send_t)
+    if not deltas[DIR_C2S] or not deltas[DIR_S2C]:
+        return 0.0  # one-sided traffic; no basis for an estimate
+    # The fastest packet each way is assumed to have seen the symmetric
+    # minimum path delay; the residual asymmetry is the clock offset.
+    return (min(deltas[DIR_C2S]) - min(deltas[DIR_S2C])) / 2.0
+
+
+# ----------------------------------------------------------------------
+# Analysis
+# ----------------------------------------------------------------------
+
+
+def _summarize(values: list[float]) -> dict | None:
+    if not values:
+        return None
+    return {
+        "count": len(values),
+        "min": round(min(values), 3),
+        "mean": round(mean(values), 3),
+        "p95": round(percentile(values, 95.0), 3),
+        "max": round(max(values), 3),
+    }
+
+
+def _direction_stats(records: list[PacketRecord], direction: str) -> dict:
+    mine = [r for r in records if r.direction == direction]
+    fates = {"delivered": 0, "dropped": 0, "lost": 0, "in_flight": 0}
+    reasons: dict[str, int] = {}
+    owds: list[float] = []
+    reordered = 0
+    duplicates = 0
+    for record in mine:
+        fates[record.fate] += 1
+        if record.drop_reason is not None:
+            reasons[record.drop_reason] = reasons.get(record.drop_reason, 0) + 1
+        if record.owd_ms is not None:
+            owds.append(record.owd_ms)
+        if record.reordered:
+            reordered += 1
+        duplicates += record.duplicate_arrivals
+    sent = len(mine)
+    terminal = sent - fates["in_flight"]
+    dead = fates["dropped"] + fates["lost"]
+    return {
+        "sent": sent,
+        "delivered": fates["delivered"],
+        "dropped": fates["dropped"],
+        "lost_inferred": fates["lost"],
+        "in_flight": fates["in_flight"],
+        "drop_reasons": reasons,
+        "loss_rate": round(dead / terminal, 6) if terminal else 0.0,
+        "reordered": reordered,
+        "duplicate_arrivals": duplicates,
+        "bytes_sent": sum(r.size for r in mine),
+        "owd_ms": _summarize(owds),
+    }
+
+
+def _rtt_audit(events: list[dict]) -> dict:
+    """Check every logged RTT sample against the estimator's own bound."""
+    samples: list[float] = []
+    checked = 0
+    violations: list[dict] = []
+    for event in events:
+        if event.get("ev") != "recv" or "rtt" not in event:
+            continue
+        samples.append(event["rtt"])
+        if "srtt" not in event or "rto" not in event:
+            continue
+        checked += 1
+        if abs(event["rtt"] - event["srtt"]) > event["rto"]:
+            violations.append(
+                {"t": event["t"], "seq": event["seq"], "rtt": event["rtt"],
+                 "srtt": event["srtt"], "rto": event["rto"]}
+            )
+    return {
+        "samples": _summarize(samples),
+        "checked": checked,
+        "violations": violations,
+    }
+
+
+def _convergence(events: list[dict]) -> list[float]:
+    """Per-instruction convergence latency from one endpoint's own log.
+
+    The first ``send`` carrying state N (``dlen > 0``) starts the clock;
+    the first incoming instruction whose ack covers N stops it. Both
+    events live in the same recording, so no clock alignment is needed.
+    """
+    first_sent: dict[int, float] = {}
+    order: list[int] = []
+    for event in events:
+        if (
+            event.get("ev") == "send"
+            and event.get("dlen", 0) > 0
+            and "new" in event
+            and event["new"] not in first_sent
+        ):
+            first_sent[event["new"]] = event["t"]
+            order.append(event["new"])
+    latencies: list[float] = []
+    pending = sorted(order)
+    for event in events:
+        if event.get("ev") != "inst" or not pending:
+            continue
+        ack = event["ack"]
+        while pending and pending[0] <= ack:
+            num = pending.pop(0)
+            if event["t"] >= first_sent[num]:
+                latencies.append(event["t"] - first_sent[num])
+    return latencies
+
+
+def _anomalies(role: str, events: list[dict]) -> list[dict]:
+    """Heartbeat-gap and seq-regression flags from one endpoint's log."""
+    out: list[dict] = []
+    last_recv_t: float | None = None
+    max_seq = -1
+    for event in events:
+        if event.get("ev") != "recv":
+            continue
+        if (
+            last_recv_t is not None
+            and event["t"] - last_recv_t > HEARTBEAT_GAP_MS
+        ):
+            out.append({
+                "kind": "heartbeat_gap",
+                "role": role,
+                "t": event["t"],
+                "gap_ms": round(event["t"] - last_recv_t, 3),
+            })
+        last_recv_t = event["t"]
+        if max_seq - event["seq"] > REPLAY_WINDOW:
+            out.append({
+                "kind": "seq_regression",
+                "role": role,
+                "t": event["t"],
+                "seq": event["seq"],
+                "newest_seq": max_seq,
+            })
+        max_seq = max(max_seq, event["seq"])
+    return out
+
+
+def analyze(
+    client: tuple[dict, list[dict]],
+    server: tuple[dict, list[dict]],
+) -> dict:
+    """Merge two recordings and produce the full report document."""
+    records, offset = merge_recordings(client, server)
+    client_events = client[1]
+    server_events = server[1]
+    report = {
+        "schema": REPORT_SCHEMA,
+        "clock_offset_ms": round(offset, 3),
+        "clock_domains": [client[0].get("clock"), server[0].get("clock")],
+        "directions": {
+            d: _direction_stats(records, d) for d in DIRECTIONS
+        },
+        "rtt": {
+            "client": _rtt_audit(client_events),
+            "server": _rtt_audit(server_events),
+        },
+        "convergence_ms": {
+            "client": _summarize(_convergence(client_events)),
+            "server": _summarize(_convergence(server_events)),
+        },
+        "anomalies": (
+            _anomalies("client", client_events)
+            + _anomalies("server", server_events)
+        ),
+    }
+    return report
+
+
+def check(report: dict) -> list[str]:
+    """Invariant audit over a report; returns failure descriptions."""
+    failures: list[str] = []
+    for direction, stats in report["directions"].items():
+        parts = (
+            stats["delivered"] + stats["dropped"]
+            + stats["lost_inferred"] + stats["in_flight"]
+        )
+        if parts != stats["sent"]:
+            failures.append(
+                f"{direction}: fate partition {parts} != sent {stats['sent']}"
+            )
+    for role in ("client", "server"):
+        violations = report["rtt"][role]["violations"]
+        if violations:
+            failures.append(
+                f"{role}: {len(violations)} RTT samples outside "
+                f"|sample - srtt| <= rto (first: {violations[0]})"
+            )
+    for anomaly in report["anomalies"]:
+        if anomaly["kind"] == "seq_regression":
+            failures.append(f"seq regression: {anomaly}")
+    return failures
+
+
+# ----------------------------------------------------------------------
+# Rendering
+# ----------------------------------------------------------------------
+
+
+def render_report(report: dict) -> str:
+    """Human-readable summary of an :func:`analyze` report."""
+    lines = [
+        "flight-log merge report",
+        f"  clock offset (server - client): {report['clock_offset_ms']} ms",
+    ]
+    for direction in DIRECTIONS:
+        stats = report["directions"][direction]
+        lines.append(f"  {direction}:")
+        lines.append(
+            f"    sent {stats['sent']}  delivered {stats['delivered']}  "
+            f"dropped {stats['dropped']}  lost {stats['lost_inferred']}  "
+            f"in-flight {stats['in_flight']}"
+        )
+        lines.append(
+            f"    loss rate {100.0 * stats['loss_rate']:.2f}%  "
+            f"reordered {stats['reordered']}  "
+            f"duplicate arrivals {stats['duplicate_arrivals']}"
+        )
+        if stats["drop_reasons"]:
+            reasons = ", ".join(
+                f"{k}={v}" for k, v in sorted(stats["drop_reasons"].items())
+            )
+            lines.append(f"    drop reasons: {reasons}")
+        if stats["owd_ms"]:
+            owd = stats["owd_ms"]
+            lines.append(
+                f"    one-way delay ms: min {owd['min']}  mean {owd['mean']}"
+                f"  p95 {owd['p95']}  max {owd['max']}"
+            )
+    for role in ("client", "server"):
+        audit = report["rtt"][role]
+        if audit["samples"]:
+            s = audit["samples"]
+            lines.append(
+                f"  {role} RTT ms: min {s['min']}  mean {s['mean']}  "
+                f"p95 {s['p95']}  max {s['max']}  "
+                f"({audit['checked']} checked, "
+                f"{len(audit['violations'])} outside SRTT±RTO)"
+            )
+        conv = report["convergence_ms"][role]
+        if conv:
+            lines.append(
+                f"  {role} convergence ms: mean {conv['mean']}  "
+                f"p95 {conv['p95']}  max {conv['max']}  "
+                f"({conv['count']} instructions)"
+            )
+    if report["anomalies"]:
+        lines.append(f"  anomalies ({len(report['anomalies'])}):")
+        for anomaly in report["anomalies"]:
+            lines.append(f"    {anomaly}")
+    else:
+        lines.append("  anomalies: none")
+    return "\n".join(lines)
+
+
+def export_chrome(
+    client: tuple[dict, list[dict]],
+    server: tuple[dict, list[dict]],
+    path: str,
+) -> int:
+    """Write the merged timeline as Chrome ``trace_event`` JSON.
+
+    Delivered packets become complete ("X") events spanning their one-way
+    flight; drops become instant ("i") events at the moment of death. Load
+    in chrome://tracing or Perfetto; returns the event count.
+    """
+    records, offset = merge_recordings(client, server)
+    trace: list[dict] = []
+    pids = {DIR_C2S: 1, DIR_S2C: 2}
+    for record in records:
+        if record.send_t is None:
+            continue
+        pid = pids[record.direction]
+        # Everything is drawn on the client's clock axis; server-side
+        # send times (the s2c direction) shift by the estimated offset.
+        send_aligned = record.send_t - (
+            offset if record.direction == DIR_S2C else 0.0
+        )
+        if record.fate == "delivered" and record.owd_ms is not None:
+            trace.append({
+                "name": f"seq {record.seq}",
+                "cat": "packet",
+                "ph": "X",
+                "pid": pid,
+                "tid": 1,
+                "ts": round(send_aligned * 1000.0, 1),
+                "dur": round(max(record.owd_ms, 0.001) * 1000.0, 1),
+                "args": {"bytes": record.size, **record.meta},
+            })
+        else:
+            trace.append({
+                "name": f"seq {record.seq} {record.drop_reason or record.fate}",
+                "cat": "packet",
+                "ph": "i",
+                "s": "t",
+                "pid": pid,
+                "tid": 1,
+                "ts": round(send_aligned * 1000.0, 1),
+                "args": {"fate": record.fate,
+                         "reason": record.drop_reason},
+            })
+    doc = {
+        "traceEvents": trace,
+        "metadata": {
+            "schema": FLIGHT_SCHEMA,
+            "clock_offset_ms": offset,
+            "process_name": {"1": "c2s", "2": "s2c"},
+        },
+    }
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh)
+        fh.write("\n")
+    return len(trace)

@@ -13,7 +13,9 @@ stays out-of-band and SSP itself never authenticates anybody.
 
 from __future__ import annotations
 
+import os
 import shlex
+import signal
 import subprocess
 from dataclasses import dataclass
 
@@ -35,12 +37,25 @@ class BootstrapResult:
     transport: subprocess.Popen | None = None
 
     def shutdown(self) -> None:
-        if self.transport is not None and self.transport.poll() is None:
-            self.transport.terminate()
+        proc = self.transport
+        if proc is None or proc.poll() is not None:
+            return
+        # Signal the transport's whole process group: a `sh -c` transport
+        # dies on SIGTERM without forwarding it, which would orphan the
+        # server it launched (the transport runs in its own session, so
+        # its pid is the group id).
+        try:
+            os.killpg(proc.pid, signal.SIGTERM)
+        except (ProcessLookupError, PermissionError):
+            proc.terminate()
+        try:
+            proc.wait(timeout=3)
+        except subprocess.TimeoutExpired:
             try:
-                self.transport.wait(timeout=3)
-            except subprocess.TimeoutExpired:
-                self.transport.kill()
+                os.killpg(proc.pid, signal.SIGKILL)
+            except (ProcessLookupError, PermissionError):
+                proc.kill()
+            proc.wait(timeout=3)
 
 
 def parse_connect_line(line: str) -> tuple[int, Base64Key]:
@@ -85,6 +100,9 @@ def bootstrap(
             stdout=subprocess.PIPE,
             stderr=subprocess.DEVNULL,
             text=True,
+            # Own session/group, so shutdown() can take down everything
+            # the login command spawned, not just the command itself.
+            start_new_session=True,
         )
     except OSError as exc:
         raise NetworkError(
@@ -115,5 +133,8 @@ def bootstrap(
             f"{shlex.join(login_command)}"
         )
     except Exception:
-        proc.terminate()
+        try:
+            os.killpg(proc.pid, signal.SIGTERM)
+        except (ProcessLookupError, PermissionError):
+            proc.terminate()
         raise

@@ -23,6 +23,7 @@ import tty
 from repro.crypto.keys import Base64Key
 from repro.crypto.session import Session
 from repro.network.connection import UdpConnection
+from repro.obs.flight import FlightRecorder
 from repro.prediction.engine import DisplayPreference
 from repro.runtime.reactor import RealReactor
 from repro.session.core import ClientCore
@@ -49,10 +50,19 @@ class ClientApp:
         preference: DisplayPreference = DisplayPreference.ADAPTIVE,
         stdin_fd: int | None = None,
         stdout=None,
+        flight: bool = False,
     ) -> None:
         self.connection = UdpConnection(Session(key), is_server=False)
         self.connection.set_remote_addr((host, port))
         self.reactor = RealReactor()
+        self.flight: FlightRecorder | None = None
+        if flight:
+            # Attached before the core so the transport pump publishes the
+            # ring gauges. Real endpoints log wall-clock milliseconds.
+            self.flight = FlightRecorder(
+                "client", clock=self.reactor.now, clock_domain="real"
+            )
+            self.connection.flight = self.flight
         self.core = ClientCore(
             self.reactor,
             self.connection,
@@ -154,6 +164,15 @@ class ClientApp:
     def write_trace(self, path: str) -> int:
         """Export the span ring as Chrome ``trace_event`` JSON."""
         return self.reactor.tracer.export_chrome(path)
+
+    def write_flight_log(self, path: str) -> int:
+        """Export the flight recording as JSONL; returns the event count.
+
+        Requires the app to have been constructed with ``flight=True``.
+        """
+        if self.flight is None:
+            raise RuntimeError("client started without a flight recorder")
+        return self.flight.export_jsonl(path)
 
     def _user_requested_quit(self) -> bool:
         # The escape hatch: server silence beyond the warning threshold

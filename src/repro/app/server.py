@@ -20,6 +20,7 @@ from repro.app.pty_host import PtyHost
 from repro.crypto.keys import Base64Key
 from repro.crypto.session import Session
 from repro.network.connection import UdpConnection
+from repro.obs.flight import FlightRecorder
 from repro.runtime.reactor import RealReactor
 from repro.session.core import ServerCore
 
@@ -35,12 +36,21 @@ class ServerApp:
         width: int = 80,
         height: int = 24,
         key: Base64Key | None = None,
+        flight: bool = False,
     ) -> None:
         self.key = key or Base64Key.new()
         self.connection = UdpConnection(
             Session(self.key), is_server=True, bind_host=bind_host, port=port
         )
         self.reactor = RealReactor()
+        self.flight: FlightRecorder | None = None
+        if flight:
+            # Attached before the core so the transport pump publishes the
+            # ring gauges. Real endpoints log wall-clock milliseconds.
+            self.flight = FlightRecorder(
+                "server", clock=self.reactor.now, clock_domain="real"
+            )
+            self.connection.flight = self.flight
         self.core = ServerCore(self.reactor, self.connection, width, height)
         self.terminal = self.core.terminal
         self.transport = self.core.transport
@@ -120,6 +130,15 @@ class ServerApp:
     def write_trace(self, path: str) -> int:
         """Export the span ring as Chrome ``trace_event`` JSON."""
         return self.reactor.tracer.export_chrome(path)
+
+    def write_flight_log(self, path: str) -> int:
+        """Export the flight recording as JSONL; returns the event count.
+
+        Requires the app to have been constructed with ``flight=True``.
+        """
+        if self.flight is None:
+            raise RuntimeError("server started without a flight recorder")
+        return self.flight.export_jsonl(path)
 
     def shutdown(self) -> None:
         self.running = False

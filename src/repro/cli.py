@@ -31,10 +31,18 @@ def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
         help="on exit, write spans as Chrome trace_event JSON "
         "(load in chrome://tracing or Perfetto)",
     )
+    parser.add_argument(
+        "--flight-log",
+        metavar="PATH",
+        default=None,
+        help="record every datagram's wire-level fate and write the "
+        "repro.obs.flight/1 JSONL recording on exit (merge two endpoints' "
+        "recordings with tools/flightlog.py)",
+    )
 
 
 def _dump_obs(app, args) -> None:
-    """Honor --metrics-dump/--trace for an app with a reactor."""
+    """Honor --metrics-dump/--trace/--flight-log for an app with a reactor."""
     if args.metrics_dump:
         app.write_metrics(args.metrics_dump)
         print(f"[repro-mosh] metrics written to {args.metrics_dump}",
@@ -42,6 +50,10 @@ def _dump_obs(app, args) -> None:
     if args.trace:
         n = app.write_trace(args.trace)
         print(f"[repro-mosh] {n} trace events written to {args.trace}",
+              file=sys.stderr, flush=True)
+    if args.flight_log:
+        n = app.write_flight_log(args.flight_log)
+        print(f"[repro-mosh] {n} flight events written to {args.flight_log}",
               file=sys.stderr, flush=True)
 
 
@@ -67,6 +79,7 @@ def server_main(argv: list[str] | None = None) -> int:
         port=args.port,
         width=args.width,
         height=args.height,
+        flight=args.flight_log is not None,
     )
     print(app.connect_line(), flush=True)
     app.run()
@@ -101,6 +114,7 @@ def client_main(argv: list[str] | None = None) -> int:
         width=size.columns,
         height=size.lines,
         preference=DisplayPreference(args.predict),
+        flight=args.flight_log is not None,
     )
     app.send_resize(size.columns, size.lines)
     app.run()
@@ -184,6 +198,7 @@ def demo_main(argv: list[str] | None = None) -> int:
         server.key,
         stdin_fd=read_fd,
         stdout=sink,
+        flight=args.flight_log is not None,
     )
     deadline = time.monotonic() + args.seconds
     typed = False

@@ -19,6 +19,7 @@ from repro.clock import Clock, RealClock
 from repro.crypto.session import NullSession, Session
 from repro.errors import NetworkError
 from repro.network.interface import DatagramEndpoint
+from repro.obs.flight import peek_seq
 
 PORT_RANGE = (60001, 60999)
 
@@ -80,7 +81,14 @@ class UdpConnection(DatagramEndpoint):
         except OSError:
             # Transient send failures (e.g. ENETUNREACH while roaming) are
             # indistinguishable from packet loss; SSP recovers either way.
-            pass
+            # The flight recorder still notes the local terminal fate, so
+            # an offline merge can tell "never left the host" from "lost
+            # on the wire".
+            if self.flight is not None:
+                self.flight.note_drop(
+                    now, self.dir_out, "send_err",
+                    seq=peek_seq(raw), wire_len=len(raw),
+                )
 
     def receive_ready(self) -> int:
         """Drain the socket; returns the number of datagrams processed."""

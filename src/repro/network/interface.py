@@ -22,7 +22,7 @@ from typing import Any, Callable
 
 from repro.crypto.keys import DIRECTION_TO_CLIENT, DIRECTION_TO_SERVER, Nonce
 from repro.crypto.session import Message, NullSession, Session
-from repro.errors import CryptoError, NetworkError, PacketError
+from repro.errors import CryptoError, NetworkError, PacketError, ReplayError
 from repro.network.packet import (
     TIMESTAMP_NONE,
     Packet,
@@ -30,6 +30,21 @@ from repro.network.packet import (
     timestamp_diff,
 )
 from repro.network.rtt import RttEstimator
+from repro.obs import registry as _obs
+from repro.obs.flight import DIR_C2S, DIR_S2C, FlightRecorder, peek_seq
+
+
+def _peek_fragment(payload: bytes):
+    """Lazy proxy for :meth:`repro.transport.fragment.Fragment.peek`.
+
+    The transport package imports this module, so the reverse import has
+    to wait until both packages have finished initializing.
+    """
+    global _peek_fragment
+    from repro.transport.fragment import Fragment
+
+    _peek_fragment = Fragment.peek
+    return Fragment.peek(payload)
 
 #: Conservative round-trip estimate used until the first RTT sample lands
 #: (matches RFC 6298's initial RTO of one second).
@@ -51,6 +66,8 @@ class DatagramEndpoint(ABC):
             DIRECTION_TO_CLIENT if is_server else DIRECTION_TO_SERVER
         )
         self._mtu = mtu
+        self._dir_out = DIR_S2C if is_server else DIR_C2S
+        self._dir_in = DIR_C2S if is_server else DIR_S2C
         self._next_seq = 0
         self._expected_receiver_seq = 0
         self._rtt = RttEstimator()
@@ -68,6 +85,9 @@ class DatagramEndpoint(ABC):
         #: Called after each authentic datagram is queued (event loops use
         #: this to tick the transport immediately instead of polling).
         self.on_datagram: Callable[[float], None] | None = None
+        #: Optional wire-level flight recorder; when attached, every
+        #: datagram's send, receive, and terminal-fate events are logged.
+        self.flight: FlightRecorder | None = None
 
     # ------------------------------------------------------------------
     # Subclass surface
@@ -81,8 +101,13 @@ class DatagramEndpoint(ABC):
     # Sending
     # ------------------------------------------------------------------
 
-    def send(self, payload: bytes, now: float) -> None:
-        """Seal and transmit one transport payload."""
+    def send(self, payload: bytes, now: float, meta: dict | None = None) -> None:
+        """Seal and transmit one transport payload.
+
+        ``meta`` is opaque flight-recorder context from the transport
+        sender (instruction numbers, fragment id/idx/final, diff length);
+        it is logged alongside the datagram's wire-level fields.
+        """
         if self._remote_addr is None:
             raise NetworkError("no remote address known yet")
         packet = self._new_packet(payload, now)
@@ -91,6 +116,16 @@ class DatagramEndpoint(ABC):
         )
         self.datagrams_sent += 1
         self.bytes_sent += len(raw)
+        if self.flight is not None and _obs._enabled:
+            self.flight.note_send(
+                now,
+                self._dir_out,
+                packet.seq,
+                len(raw),
+                packet.timestamp,
+                packet.timestamp_reply,
+                meta,
+            )
         self._transmit(raw, now)
 
     def _new_packet(self, payload: bytes, now: float) -> Packet:
@@ -119,21 +154,54 @@ class DatagramEndpoint(ABC):
     # ------------------------------------------------------------------
 
     def _handle_datagram(self, raw: bytes, addr: Any, now: float) -> None:
-        """Unseal one inbound datagram; silently drops forgeries."""
+        """Unseal one inbound datagram; drops forgeries (recorded, never
+        trusted)."""
+        # The global observability switch gates the hooks here rather
+        # than inside note_*, so a disabled recorder also skips the
+        # fragment peek and estimator reads that only feed the log.
+        flight = self.flight if _obs._enabled else None
         try:
             message = self._session.decrypt(raw)
+        except ReplayError:
+            # Authentic but sequence-reusing: a duplicated or replayed
+            # datagram. Terminal fate, worth a flight-log line.
+            if flight is not None:
+                flight.note_drop(
+                    now, self._dir_in, "replay",
+                    seq=peek_seq(raw), wire_len=len(raw),
+                )
+            return
         except CryptoError:
+            if flight is not None:
+                flight.note_drop(
+                    now, self._dir_in, "auth",
+                    seq=peek_seq(raw), wire_len=len(raw),
+                )
             return  # forged or corrupted; never trust it
         expected_direction = (
             DIRECTION_TO_SERVER if self._is_server else DIRECTION_TO_CLIENT
         )
         if message.nonce.direction != expected_direction:
+            if flight is not None:
+                flight.note_drop(
+                    now, self._dir_in, "reflect",
+                    seq=message.nonce.seq, wire_len=len(raw),
+                )
             return  # reflected packet
         try:
             packet = Packet.from_plaintext(message.nonce, message.text)
         except PacketError:
+            if flight is not None:
+                flight.note_drop(
+                    now, self._dir_in, "bad_packet",
+                    seq=message.nonce.seq, wire_len=len(raw),
+                )
             return
 
+        # An authentic sequence number behind the newest one seen means
+        # the network delivered this datagram out of order (an exact
+        # duplicate would have tripped the replay window above).
+        reordered = packet.seq < self._expected_receiver_seq
         if packet.seq >= self._expected_receiver_seq:
             self._expected_receiver_seq = packet.seq + 1
             self._saved_timestamp = packet.timestamp
@@ -144,13 +212,29 @@ class DatagramEndpoint(ABC):
                 self._remote_addr = addr
         # Out-of-order packets are still delivered: every datagram is an
         # idempotent diff, so the transport layer handles them safely.
+        rtt_sample: float | None = None
         if packet.timestamp_reply != TIMESTAMP_NONE:
             sample = timestamp_diff(timestamp16(now), packet.timestamp_reply)
             # Ignore absurd samples caused by 16-bit wrap on idle links.
             if sample < 60000:
                 self._rtt.observe(float(sample))
+                rtt_sample = float(sample)
         self.datagrams_received += 1
         self.bytes_received += len(raw)
+        if flight is not None:
+            flight.note_recv(
+                now,
+                self._dir_in,
+                packet.seq,
+                len(raw),
+                packet.timestamp,
+                packet.timestamp_reply,
+                frag=_peek_fragment(packet.payload),
+                reordered=reordered,
+                rtt=rtt_sample,
+                srtt=self._rtt.srtt if self._rtt.have_sample else None,
+                rto=self._rtt.rto(),
+            )
         self._received_payloads.append(packet.payload)
         if self.on_datagram is not None:
             self.on_datagram(now)
@@ -173,6 +257,16 @@ class DatagramEndpoint(ABC):
     @property
     def is_server(self) -> bool:
         return self._is_server
+
+    @property
+    def dir_out(self) -> str:
+        """Flight-recorder direction label for outgoing datagrams."""
+        return self._dir_out
+
+    @property
+    def dir_in(self) -> str:
+        """Flight-recorder direction label for incoming datagrams."""
+        return self._dir_in
 
     @property
     def mtu(self) -> int:

@@ -14,6 +14,11 @@ runtime:
   index at ingestion and settles it when a frame's echo-ack covers it,
   so a live session emits the paper's Figure-2-style latency distribution
   without trace replay.
+* :class:`FlightRecorder` — the wire-level flight recorder: one
+  structured event per datagram at every lifecycle point (seal/send,
+  receive/unseal, and terminal fates), in a bounded ring exportable as
+  ``repro.obs.flight/1`` JSONL. Two endpoint recordings merge offline
+  into a causal timeline via :mod:`repro.analysis.flight`.
 
 ``snapshot()`` documents follow the :data:`SNAPSHOT_SCHEMA` layout and
 are checked by :func:`validate_snapshot` (CI validates the artifact each
@@ -21,6 +26,12 @@ build). :func:`set_enabled` is the global kill switch the benchmark
 suite uses to measure instrumentation overhead A/B.
 """
 
+from repro.obs.flight import (
+    FLIGHT_SCHEMA,
+    FlightRecorder,
+    load_flight_log,
+    validate_flight_log,
+)
 from repro.obs.keystroke import KeystrokeLatencyTracker
 from repro.obs.registry import (
     SNAPSHOT_SCHEMA,
@@ -35,14 +46,18 @@ from repro.obs.registry import (
 from repro.obs.trace import SpanTracer
 
 __all__ = [
+    "FLIGHT_SCHEMA",
     "SNAPSHOT_SCHEMA",
     "Counter",
+    "FlightRecorder",
     "Gauge",
     "Histogram",
     "KeystrokeLatencyTracker",
     "MetricsRegistry",
     "SpanTracer",
     "enabled",
+    "load_flight_log",
     "set_enabled",
+    "validate_flight_log",
     "validate_snapshot",
 ]

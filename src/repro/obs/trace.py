@@ -29,6 +29,9 @@ from repro.obs import registry as _registry
 #: frames) while keeping a runaway producer's memory flat.
 DEFAULT_CAPACITY = 16384
 
+#: Shared empty args mapping for fast-path spans (never mutated).
+_NO_ARGS: dict = {}
+
 
 class _Span:
     """Context manager for one timed span (reused shape, tiny footprint)."""
@@ -73,6 +76,20 @@ class SpanTracer:
         if not _registry._enabled:
             return _NULL_SPAN
         return _Span(self, name, cat, args)
+
+    def record_span(self, name: str, t0: float, cat: str = "runtime") -> None:
+        """Fast-path span record for per-tick hot paths.
+
+        The caller supplies the start time it already has in hand, so
+        recording costs one clock read and one ring append — no context
+        manager, no per-span object. Use ``with tracer.span(...)``
+        everywhere the extra microsecond doesn't matter.
+        """
+        if not _registry._enabled:
+            return
+        self._events.append(
+            ("X", name, cat, t0, self._clock() - t0, _NO_ARGS)
+        )
 
     def instant(self, name: str, cat: str = "runtime", **args) -> None:
         """Record a zero-duration event at the current clock reading."""

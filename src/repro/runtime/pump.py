@@ -107,6 +107,15 @@ class TransportPump:
         registry.gauge(f"{role}.network.srtt_ms", fn=lambda: endpoint.srtt)
         registry.gauge(f"{role}.network.rttvar_ms", fn=lambda: endpoint.rttvar)
         registry.gauge(f"{role}.network.rto_ms", fn=endpoint.rto)
+        flight = endpoint.flight
+        if flight is not None:
+            # Ring occupancy and overwrite count for the wire-level
+            # flight recorder, when one is attached to this endpoint.
+            registry.gauge(f"{role}.flight.events", fn=lambda: len(flight))
+            registry.gauge(
+                f"{role}.flight.dropped_events",
+                fn=lambda: flight.dropped_events,
+            )
         self._sender_counters = tuple(
             registry.counter(f"{role}.sender.{name}")
             for _, name in _SENDER_COUNTERS
@@ -120,8 +129,10 @@ class TransportPump:
             self._timer = None
         reactor = self._reactor
         now = reactor.now()
-        with reactor.tracer.span(self._tick_span_name):
-            self._transport.tick(now)
+        self._transport.tick(now)
+        # Fast-path span: ``now`` is already in hand and this runs on
+        # every tick, so skip the context-manager machinery.
+        reactor.tracer.record_span(self._tick_span_name, now)
         metrics = reactor.metrics
         metrics.ticks += 1
         sent = self._transport.endpoint.datagrams_sent

@@ -19,6 +19,7 @@ import json
 
 from repro.crypto.keys import Base64Key
 from repro.crypto.session import NullSession, Session
+from repro.obs.flight import FlightRecorder, peek_seq
 from repro.prediction.engine import DisplayPreference
 from repro.runtime.reactor import SimReactor
 from repro.session.core import ClientCore, ServerCore
@@ -107,6 +108,19 @@ class InProcessSession:
             self.network, make(), is_server=True, local_addr="server"
         )
         self.client_endpoint.set_remote_addr("server")
+        # Flight recorders ride along by default: the simulator is where
+        # wire-level forensics are cheapest (deterministic clock, ground-
+        # truth link drops). Attached before the cores so the transport
+        # pumps publish the ring gauges.
+        self.client_flight = FlightRecorder(
+            "client", clock=self.loop.now, clock_domain="sim"
+        )
+        self.server_flight = FlightRecorder(
+            "server", clock=self.loop.now, clock_domain="sim"
+        )
+        self.client_endpoint.flight = self.client_flight
+        self.server_endpoint.flight = self.server_flight
+        self._wire_link_observers()
         self.server = MoshServer(
             self.loop, self.server_endpoint, width, height, timing,
             reactor=self.reactor,
@@ -135,11 +149,45 @@ class InProcessSession:
             registry.gauge(f"simnet.{name}.queue_bytes", fn=link.queue_depth_bytes)
             for counter in ("packets_sent", "packets_dropped_loss",
                             "packets_dropped_queue", "packets_delivered",
-                            "bytes_delivered"):
+                            "bytes_delivered", "packets_reordered",
+                            "packets_duplicated"):
                 registry.gauge(
                     f"simnet.{name}.{counter}",
                     fn=(lambda lnk=link, attr=counter: getattr(lnk, attr)),
                 )
+
+    def _wire_link_observers(self) -> None:
+        """Route link drops into the *sending* endpoint's flight recorder.
+
+        The simulator knows the ground truth of every drop, so the
+        recorder on the side that sent the packet logs the terminal fate
+        directly instead of leaving it to be inferred from gaps. Uplink
+        packets were sent by the client (direction ``c2s``); downlink by
+        the server (``s2c``).
+        """
+        wiring = (
+            (self.network.uplink, self.client_flight,
+             self.client_endpoint.dir_out),
+            (self.network.downlink, self.server_flight,
+             self.server_endpoint.dir_out),
+        )
+        reasons = {"lost": "loss", "queue_drop": "queue"}
+        for link, recorder, direction in wiring:
+            def observe(
+                fate: str,
+                now: float,
+                packet: object,
+                size: int,
+                recorder: FlightRecorder = recorder,
+                direction: str = direction,
+            ) -> None:
+                reason = reasons.get(fate)
+                if reason is not None:
+                    recorder.note_drop(
+                        now, direction, reason,
+                        seq=peek_seq(packet), wire_len=size,
+                    )
+            link.observer = observe
 
     # -- observability exports ------------------------------------------
 
@@ -158,6 +206,19 @@ class InProcessSession:
     def write_trace(self, path: str) -> int:
         """Export the span ring as Chrome ``trace_event`` JSON."""
         return self.reactor.tracer.export_chrome(path)
+
+    def flight_recordings(self) -> tuple[tuple[dict, list], tuple[dict, list]]:
+        """Both endpoints' (header, events) recordings, client first."""
+        return self.client_flight.recording(), self.server_flight.recording()
+
+    def write_flight_logs(
+        self, client_path: str, server_path: str
+    ) -> tuple[int, int]:
+        """Export both recorders as JSONL; returns (client, server) counts."""
+        return (
+            self.client_flight.export_jsonl(client_path),
+            self.server_flight.export_jsonl(server_path),
+        )
 
     def run_for(self, duration_ms: float) -> None:
         """Advance the simulation by ``duration_ms``."""

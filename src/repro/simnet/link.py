@@ -9,7 +9,14 @@ A :class:`Link` applies, in order:
 
 By default delivery order is preserved (jitter stretches but never reorders,
 like a FIFO queue); set ``allow_reorder=True`` to let jittered packets pass
-each other, which exercises SSP's tolerance of reordering.
+each other, which exercises SSP's tolerance of reordering. Set
+``duplicate`` to a non-zero probability to have the link occasionally
+deliver an extra copy of a packet, exercising the replay window and the
+fragment assembler's duplicate suppression.
+
+Every packet's fate on the link can be observed via :attr:`Link.observer`
+(see :data:`ObserverFn`); the flight recorder uses this to log simulated
+loss as ground truth rather than inferring it from gaps.
 """
 
 from __future__ import annotations
@@ -22,6 +29,13 @@ from repro.errors import SimulationError
 from repro.simnet.eventloop import EventLoop
 
 DeliverFn = Callable[[Any], None]
+
+#: Per-packet fate callback: ``observer(fate, now_ms, packet, size_bytes)``.
+#: Fates: ``"sent"`` (accepted onto the link), ``"lost"`` (random loss),
+#: ``"queue_drop"`` (drop-tail buffer full), ``"delivered"`` (in-order
+#: arrival), ``"reordered"`` (arrival that passed an earlier packet), and
+#: ``"duplicate"`` (an extra copy injected by the link).
+ObserverFn = Callable[[str, float, Any, int], None]
 
 
 @dataclass(frozen=True)
@@ -36,10 +50,16 @@ class LinkConfig:
     #: Drop-tail buffer bound in bytes; None = unbounded queue.
     queue_bytes: int | None = None
     allow_reorder: bool = False
+    #: Probability that a surviving packet is delivered twice.
+    duplicate: float = 0.0
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.loss < 1.0:
             raise SimulationError(f"loss probability {self.loss} outside [0,1)")
+        if not 0.0 <= self.duplicate < 1.0:
+            raise SimulationError(
+                f"duplicate probability {self.duplicate} outside [0,1)"
+            )
         if self.delay_ms < 0 or self.jitter_ms < 0:
             raise SimulationError("delay and jitter must be non-negative")
         if (
@@ -65,6 +85,18 @@ class Link:
         self.packets_dropped_queue = 0
         self.packets_delivered = 0
         self.bytes_delivered = 0
+        self.packets_reordered = 0
+        self.packets_duplicated = 0
+        # Monotonic per-packet admission index; deliveries compare against
+        # the highest index already delivered to detect reordering.
+        self._send_index = 0
+        self._max_delivered_index = -1
+        #: Per-packet fate observer (see :data:`ObserverFn`).
+        self.observer: ObserverFn | None = None
+
+    def _observe(self, fate: str, packet: Any, size_bytes: int) -> None:
+        if self.observer is not None:
+            self.observer(fate, self._loop.now(), packet, size_bytes)
 
     def queue_depth_bytes(self) -> int:
         """Bytes currently waiting in (or being serialized by) the buffer."""
@@ -83,6 +115,7 @@ class Link:
         if size_bytes <= 0:
             raise SimulationError(f"packet size must be positive: {size_bytes}")
         self.packets_sent += 1
+        self._observe("sent", packet, size_bytes)
         cfg = self.config
         now = self._loop.now()
 
@@ -94,6 +127,7 @@ class Link:
                 and backlog_bytes + size_bytes > cfg.queue_bytes
             ):
                 self.packets_dropped_queue += 1
+                self._observe("queue_drop", packet, size_bytes)
                 return False
             start = max(now, self._busy_until)
             tx_time = size_bytes / cfg.bandwidth_bytes_per_ms
@@ -107,6 +141,7 @@ class Link:
             self.packets_dropped_loss += 1
             # The serializer time was still consumed (the bytes were sent;
             # they die on the wire), so _busy_until stays advanced.
+            self._observe("lost", packet, size_bytes)
             return True
 
         jitter = self._rng.uniform(0.0, cfg.jitter_ms) if cfg.jitter_ms else 0.0
@@ -116,12 +151,39 @@ class Link:
             self._last_arrival = arrival
 
         self._queued_bytes += size_bytes
+        send_index = self._send_index
+        self._send_index += 1
 
         def _deliver() -> None:
             self._queued_bytes -= size_bytes
             self.packets_delivered += 1
             self.bytes_delivered += size_bytes
+            if send_index < self._max_delivered_index:
+                self.packets_reordered += 1
+                self._observe("reordered", packet, size_bytes)
+            else:
+                self._max_delivered_index = send_index
+                self._observe("delivered", packet, size_bytes)
             deliver(packet)
 
         self._loop.schedule_at(arrival, _deliver)
+
+        # Duplication injects a second, independently jittered copy of the
+        # same bytes. The copy is tracked only by ``packets_duplicated`` so
+        # sent == dropped + delivered + in-transit still balances.
+        if cfg.duplicate > 0.0 and self._rng.random() < cfg.duplicate:
+            dup_jitter = (
+                self._rng.uniform(0.0, cfg.jitter_ms) if cfg.jitter_ms else 0.0
+            )
+            dup_arrival = depart + cfg.delay_ms + dup_jitter
+            if not cfg.allow_reorder:
+                dup_arrival = max(dup_arrival, self._last_arrival)
+                self._last_arrival = dup_arrival
+
+            def _deliver_dup() -> None:
+                self.packets_duplicated += 1
+                self._observe("duplicate", packet, size_bytes)
+                deliver(packet)
+
+            self._loop.schedule_at(dup_arrival, _deliver_dup)
         return True

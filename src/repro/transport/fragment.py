@@ -58,6 +58,19 @@ class Fragment:
             payload=data[_HEADER.size :],
         )
 
+    @classmethod
+    def peek(cls, data: bytes) -> tuple[int, int, bool] | None:
+        """Parse just the header: (instruction_id, fragment_num, final).
+
+        The flight recorder tags every received datagram with the
+        fragment it carried; this costs one struct unpack and never
+        touches the compressed payload.
+        """
+        if len(data) < _HEADER.size:
+            return None
+        instruction_id, word = _HEADER.unpack_from(data)
+        return instruction_id, word & _FRAG_MASK, bool(word & _FINAL_FLAG)
+
 
 #: Bytes of each datagram consumed by the fragment header.
 OVERHEAD = _HEADER.size
@@ -113,9 +126,21 @@ class FragmentAssembly:
         self._current_id: int | None = None
         self._pieces: dict[int, Fragment] = {}
         self._total: int | None = None
+        self._completed_id: int | None = None
 
     def add_fragment(self, fragment: Fragment) -> bytes | None:
-        """Add one fragment; returns the encoded instruction when complete."""
+        """Add one fragment; returns the encoded instruction when complete.
+
+        Fragments of an already-completed instruction id are ignored, so
+        duplicate delivery (a link that duplicates, or a retransmission
+        arriving after the original assembled) can never yield a second
+        reassembly of the same instruction.
+        """
+        if (
+            self._completed_id is not None
+            and fragment.instruction_id <= self._completed_id
+        ):
+            return None  # already assembled (or older still); duplicate
         if self._current_id is None or fragment.instruction_id > self._current_id:
             self._current_id = fragment.instruction_id
             self._pieces = {}
@@ -134,6 +159,7 @@ class FragmentAssembly:
         )
         self._pieces = {}
         self._total = None
+        self._completed_id = self._current_id
         try:
             return zlib.decompress(compressed)
         except zlib.error as exc:

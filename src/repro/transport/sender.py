@@ -25,6 +25,7 @@ from dataclasses import dataclass
 from typing import Generic, TypeVar
 
 from repro.network.interface import DatagramEndpoint
+from repro.obs import registry as _obs
 from repro.obs.registry import Histogram
 from repro.transport.fragment import Fragmenter
 from repro.transport.instruction import Instruction
@@ -337,8 +338,25 @@ class TransportSender(Generic[S]):
         fragments = self._fragmenter.make_fragments(
             inst.encode(), self._endpoint.mtu
         )
+        record_flight = self._endpoint.flight is not None and _obs._enabled
         for fragment in fragments:
-            self._endpoint.send(fragment.encode(), now)
+            meta = None
+            if record_flight:
+                # Flight-recorder context: what this datagram carried.
+                # The receive side can only peek the fragment header (the
+                # instruction body is compressed), so the send side logs
+                # the instruction numbers for the offline merge.
+                meta = {
+                    "old": old_num,
+                    "new": new_num,
+                    "ack": inst.ack_num,
+                    "tw": inst.throwaway_num,
+                    "frag_id": fragment.instruction_id,
+                    "frag_idx": fragment.fragment_num,
+                    "final": fragment.final,
+                    "dlen": len(diff),
+                }
+            self._endpoint.send(fragment.encode(), now, meta)
             self.datagrams_sent += 1
         self.instructions_sent += 1
         if self._last_instruction_at is not None:

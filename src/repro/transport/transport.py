@@ -85,6 +85,13 @@ class Transport(Generic[MyState, RemoteState]):
         for payload in self._endpoint.pop_received():
             try:
                 fragment = Fragment.decode(payload)
+            except FragmentError:
+                continue
+            # Any decodable fragment proves the peer is alive and actively
+            # retrying — even a retransmission of an instruction that
+            # already assembled (which the assembly ignores below).
+            self.sender.remote_heard(now)
+            try:
                 encoded = self._assembly.add_fragment(fragment)
             except FragmentError:
                 continue
@@ -94,8 +101,18 @@ class Transport(Generic[MyState, RemoteState]):
                 inst = Instruction.decode(encoded)
             except TransportError:
                 continue
+            if self._endpoint.flight is not None:
+                self._endpoint.flight.note_instruction(
+                    now,
+                    self._endpoint.dir_in,
+                    inst.old_num,
+                    inst.new_num,
+                    inst.ack_num,
+                    inst.throwaway_num,
+                    len(inst.diff),
+                    frag_id=fragment.instruction_id,
+                )
             self.sender.process_acknowledgment_through(inst.ack_num, now)
-            self.sender.remote_heard(now)
             created = self.receiver.process_instruction(inst)
             self.receiver.process_throwaway_until(inst.throwaway_num)
             if created:

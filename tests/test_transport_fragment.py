@@ -130,3 +130,59 @@ class TestAssembly:
         for f in frags:
             out = assembly.add_fragment(f)
         assert out == data
+
+
+class TestDuplicateSuppression:
+    def test_single_fragment_duplicate_not_reassembled_twice(self):
+        frags = Fragmenter().make_fragments(b"payload", 500)
+        assert len(frags) == 1
+        assembly = FragmentAssembly()
+        assert assembly.add_fragment(frags[0]) == b"payload"
+        # The same (retransmitted or link-duplicated) fragment again:
+        # without completed-id tracking this would reassemble a second
+        # time, double-applying at the transport layer.
+        assert assembly.add_fragment(frags[0]) is None
+
+    def test_retransmitted_multi_fragment_instruction_suppressed(self):
+        frags = Fragmenter().make_fragments(bytes(range(256)) * 8, 100)
+        assert len(frags) > 1
+        assembly = FragmentAssembly()
+        out = None
+        for f in frags:
+            out = assembly.add_fragment(f)
+        assert out == bytes(range(256)) * 8
+        for f in frags:  # the whole resend is ignored
+            assert assembly.add_fragment(f) is None
+
+    def test_older_id_after_completion_ignored(self):
+        fragmenter = Fragmenter()
+        old = fragmenter.make_fragments(b"old", 500)
+        new = fragmenter.make_fragments(b"new", 500)
+        assembly = FragmentAssembly()
+        assert assembly.add_fragment(new[0]) == b"new"
+        assert assembly.add_fragment(old[0]) is None
+
+    def test_next_instruction_still_assembles(self):
+        fragmenter = Fragmenter()
+        first = fragmenter.make_fragments(b"first", 500)
+        second = fragmenter.make_fragments(b"second", 500)
+        assembly = FragmentAssembly()
+        assert assembly.add_fragment(first[0]) == b"first"
+        assert assembly.add_fragment(first[0]) is None
+        assert assembly.add_fragment(second[0]) == b"second"
+
+
+class TestPeek:
+    def test_peek_matches_decode(self):
+        for frags in (
+            Fragmenter().make_fragments(b"tiny", 500),
+            Fragmenter().make_fragments(bytes(range(256)) * 8, 100),
+        ):
+            for f in frags:
+                raw = f.encode()
+                assert Fragment.peek(raw) == (
+                    f.instruction_id, f.fragment_num, f.final
+                )
+
+    def test_peek_short_data(self):
+        assert Fragment.peek(b"\x00" * 9) is None

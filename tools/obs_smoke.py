@@ -6,19 +6,27 @@ over a lossy link, then:
 
 * writes the span ring as Chrome ``trace_event`` JSON (``--trace``),
 * writes the ``repro.obs/1`` metrics snapshot (``--metrics``),
-* validates the snapshot against the schema, and
+* validates the snapshot against the schema,
+* exports both endpoints' ``repro.obs.flight/1`` recordings as JSONL,
+  schema-validates them, merges them with the flight-log analyzer, and
+  writes the merged report (``--flight-report``) after asserting every
+  cross-endpoint invariant (fate partition, loss vs link counters, RTT
+  bound), and
 * asserts the acceptance checks the ISSUE demands of a live session —
   the per-keystroke echo-latency histogram carries p50/p95/p99, the
   seal/unseal histograms counted real datagrams, and the keystroke
   lifecycle appears in the trace.
 
-CI runs this every build and uploads both files as artifacts; exit
+CI runs this every build and uploads the files as artifacts; exit
 status is nonzero on any violated check, so the pipeline fails loudly
 when instrumentation rots.
 
 Usage::
 
-    python tools/obs_smoke.py --trace trace.json --metrics metrics.json
+    python tools/obs_smoke.py --trace trace.json --metrics metrics.json \
+        --flight-client flight-client.jsonl \
+        --flight-server flight-server.jsonl \
+        --flight-report flight-report.json
 """
 
 from __future__ import annotations
@@ -31,6 +39,8 @@ import sys
 ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 sys.path.insert(0, os.path.join(ROOT, "src"))
 
+from repro.analysis.flight import analyze, check as flight_check  # noqa: E402
+from repro.obs.flight import load_flight_log  # noqa: E402
 from repro.obs.registry import validate_snapshot  # noqa: E402
 from repro.session.inprocess import InProcessSession  # noqa: E402
 from repro.simnet.link import LinkConfig  # noqa: E402
@@ -83,10 +93,58 @@ def check(session: InProcessSession, doc: dict) -> list[str]:
     return failures
 
 
+def flight_stage(session: InProcessSession, args) -> list[str]:
+    """Record both endpoints, round-trip through JSONL, merge, audit."""
+    failures: list[str] = []
+    session.write_flight_logs(args.flight_client, args.flight_server)
+    # Round-trip the on-disk artifacts (load validates the schema).
+    client = load_flight_log(args.flight_client)
+    server = load_flight_log(args.flight_server)
+    report = analyze(client, server)
+    failures.extend(flight_check(report))
+
+    # The merged view must agree with the simulator's ground truth: every
+    # loss the links rolled appears as exactly one drop event, and the
+    # fate partition accounts for every datagram sent.
+    links = (("c2s", session.network.uplink), ("s2c", session.network.downlink))
+    for direction, link in links:
+        stats = report["directions"][direction]
+        observed = stats["drop_reasons"].get("loss", 0)
+        if observed != link.packets_dropped_loss:
+            failures.append(
+                f"{direction}: {observed} loss events != link counter "
+                f"{link.packets_dropped_loss}"
+            )
+        if stats["lost_inferred"] != 0:
+            failures.append(
+                f"{direction}: {stats['lost_inferred']} losses had to be "
+                "inferred despite the link observer"
+            )
+
+    with open(args.flight_report, "w", encoding="utf-8") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    total = sum(report["directions"][d]["sent"] for d, _ in links)
+    print(
+        f"  flight recorder: {total} datagrams accounted for across both "
+        f"directions -> {args.flight_report}"
+    )
+    return failures
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--trace", default="trace.json", metavar="PATH")
     parser.add_argument("--metrics", default="metrics.json", metavar="PATH")
+    parser.add_argument(
+        "--flight-client", default="flight-client.jsonl", metavar="PATH"
+    )
+    parser.add_argument(
+        "--flight-server", default="flight-server.jsonl", metavar="PATH"
+    )
+    parser.add_argument(
+        "--flight-report", default="flight-report.json", metavar="PATH"
+    )
     args = parser.parse_args(argv)
 
     session = run_session()
@@ -101,6 +159,7 @@ def main(argv: list[str] | None = None) -> int:
     assert len(chrome["traceEvents"]) == events
 
     failures = check(session, doc)
+    failures.extend(flight_stage(session, args))
     ks = doc["histograms"]["keystroke.echo_ms"]
     print(
         f"observability smoke: {events} trace events -> {args.trace}, "
