@@ -145,6 +145,56 @@ def main() -> None:
     print("      legend: . delivered  ~ reordered  X lost  Q queue-drop  "
           "? in flight")
 
+    daemon_panel()
+
+
+def daemon_panel(sessions: int = 4) -> None:
+    """The daemon view: per-session rows fed by labelled instruments.
+
+    A session daemon muxes several sessions on one port, so its
+    dashboard needs one row per session — id, SRTT, keystroke p95, and
+    how long ago the client was last heard — all read from the same
+    snapshot document, keyed by the ``s<id>``/``c<id>`` labels.
+    """
+    from repro.session.inprocess import InProcessDaemon
+
+    daemon = InProcessDaemon(
+        LinkConfig(delay_ms=30.0),
+        LinkConfig(delay_ms=30.0),
+        sessions=sessions,
+        width=40,
+        height=8,
+        seed=12,
+    )
+    daemon.connect()
+    for cid in daemon.conn_ids:
+        for ch in f"session {cid} typing\n".encode():
+            daemon.client(cid).type_bytes(bytes([ch]))
+            daemon.run_for(90.0)
+    # Everyone goes quiet; the last-heard ages grow while SRTT holds.
+    daemon.run_for(4000.0)
+
+    doc = daemon.metrics_snapshot()
+    gauges, hists = doc["gauges"], doc["histograms"]
+    now = daemon.loop.now()
+    print(f"\nsession daemon: {sessions} sessions muxed on one port")
+    print("   id   srtt_ms   keystroke_p95_ms   last_heard")
+    for cid in daemon.conn_ids:
+        srtt = gauges.get(f"server.s{cid}.network.srtt_ms") or 0.0
+        ks = hists.get(f"keystroke.c{cid}.echo_ms", {})
+        p95 = ks.get("p95") or 0.0
+        age_s = (now - daemon.record(cid).last_heard()) / 1000.0
+        print(
+            f"   s{cid:<3} {srtt:7.1f}   {p95:16.0f}   {age_s:7.1f} s ago"
+        )
+    counters = doc["counters"]
+    print(
+        f"   one-port routing: "
+        f"{counters['daemon.datagrams_routed']:.0f} datagrams routed, "
+        f"{counters['daemon.no_route']:.0f} unroutable, "
+        f"{counters['daemon.bad_packets']:.0f} garbage"
+    )
+
 
 #: One glyph per packet in the fate strip.
 _FATE_GLYPHS = {

@@ -35,6 +35,9 @@ class BootstrapResult:
     #: The login transport, kept alive as the server's parent (our server
     #: does not daemonize). Terminate it to end the remote server.
     transport: subprocess.Popen | None = None
+    #: Mux connection id from a session-daemon server (fifth connect-line
+    #: field); None for classic one-port-per-session servers.
+    conn_id: int | None = None
 
     def shutdown(self) -> None:
         proc = self.transport
@@ -59,9 +62,20 @@ class BootstrapResult:
 
 
 def parse_connect_line(line: str) -> tuple[int, Base64Key]:
-    """Parse ``MOSH CONNECT <port> <key>``."""
+    """Parse ``MOSH CONNECT <port> <key>`` (ignoring any conn id)."""
+    port, key, _ = parse_connect_line_ex(line)
+    return port, key
+
+
+def parse_connect_line_ex(line: str) -> tuple[int, Base64Key, int | None]:
+    """Parse ``MOSH CONNECT <port> <key> [conn_id]``.
+
+    Session-daemon servers append their mux connection id as a fifth
+    field; classic servers print only four. Returns (port, key,
+    conn_id-or-None).
+    """
     parts = line.strip().split()
-    if len(parts) != 4 or parts[0] != "MOSH" or parts[1] != "CONNECT":
+    if len(parts) not in (4, 5) or parts[0] != "MOSH" or parts[1] != "CONNECT":
         raise NetworkError(f"not a MOSH CONNECT line: {line!r}")
     try:
         port = int(parts[2])
@@ -73,7 +87,17 @@ def parse_connect_line(line: str) -> tuple[int, Base64Key]:
         key = Base64Key.from_printable(parts[3])
     except CryptoError as exc:
         raise NetworkError(f"bad session key in connect line: {exc}") from exc
-    return port, key
+    conn_id: int | None = None
+    if len(parts) == 5:
+        try:
+            conn_id = int(parts[4])
+        except ValueError as exc:
+            raise NetworkError(
+                f"bad connection id in connect line: {parts[4]!r}"
+            ) from exc
+        if conn_id < 0:
+            raise NetworkError(f"connection id {conn_id} out of range")
+    return port, key, conn_id
 
 
 def bootstrap(
@@ -124,9 +148,10 @@ def bootstrap(
             if not line:
                 break
             if line.startswith(CONNECT_PREFIX):
-                port, key = parse_connect_line(line)
+                port, key, conn_id = parse_connect_line_ex(line)
                 return BootstrapResult(
-                    host=host, port=port, key=key, transport=proc
+                    host=host, port=port, key=key, transport=proc,
+                    conn_id=conn_id,
                 )
         raise NetworkError(
             f"server never printed a {CONNECT_PREFIX} line via "

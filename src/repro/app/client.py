@@ -51,8 +51,14 @@ class ClientApp:
         stdin_fd: int | None = None,
         stdout=None,
         flight: bool = False,
+        conn_id: int | None = None,
     ) -> None:
-        self.connection = UdpConnection(Session(key), is_server=False)
+        # ``conn_id`` comes from the daemon's extended connect line; with
+        # one attached, datagrams carry the v2 mux header so the daemon
+        # routes by session id rather than source address.
+        self.connection = UdpConnection(
+            Session(key), is_server=False, conn_id=conn_id
+        )
         self.connection.set_remote_addr((host, port))
         self.reactor = RealReactor()
         self.flight: FlightRecorder | None = None
@@ -103,6 +109,18 @@ class ClientApp:
 
     def send_resize(self, cols: int, rows: int) -> None:
         self.core.resize(cols, rows)
+
+    def roam(self, bind_host: str | None = None) -> None:
+        """Move to a fresh source address mid-session (§2.2 roaming).
+
+        The socket rebinds to a new ephemeral port and the next outbound
+        datagram — kicked immediately — teaches the server the new
+        address (v1) or simply keeps routing by connection id (v2).
+        """
+        self.reactor.remove_reader(self.connection.fileno())
+        new_fd = self.connection.rebind(bind_host)
+        self.reactor.add_reader(new_fd, self._socket_readable)
+        self.core.kick()
 
     # ------------------------------------------------------------------
 

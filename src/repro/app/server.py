@@ -5,10 +5,14 @@ real deployments, over SSH), binds a high UDP port, prints
 ``MOSH CONNECT <port> <key>`` on stdout, and thereafter speaks only
 encrypted SSP. No privileged code anywhere.
 
-All session logic — user-event processing, echo-ack scheduling, tick
-pacing — lives in :class:`~repro.session.core.ServerCore`; this module
-binds that core to a :class:`~repro.runtime.RealReactor` whose select()
-loop watches the UDP socket and the pty.
+Since the session-daemon refactor this is a one-session shell over the
+same machinery :class:`~repro.daemon.app.DaemonApp` uses for N sessions:
+a :class:`~repro.network.connection.MuxUdpConnection` owns the socket, a
+:class:`~repro.daemon.manager.SessionManager` owns the (single) session,
+and the select loop and metric names are unchanged — a solitary session
+keeps the bare ``server`` instrument prefix and behaves exactly like the
+pre-daemon dedicated connection, including forgeries counting as its
+auth failures.
 """
 
 from __future__ import annotations
@@ -18,11 +22,10 @@ import sys
 
 from repro.app.pty_host import PtyHost
 from repro.crypto.keys import Base64Key
-from repro.crypto.session import Session
-from repro.network.connection import UdpConnection
+from repro.daemon.manager import SessionManager
+from repro.network.connection import MuxUdpConnection
 from repro.obs.flight import FlightRecorder
 from repro.runtime.reactor import RealReactor
-from repro.session.core import ServerCore
 
 
 class ServerApp:
@@ -39,49 +42,55 @@ class ServerApp:
         flight: bool = False,
     ) -> None:
         self.key = key or Base64Key.new()
-        self.connection = UdpConnection(
-            Session(self.key), is_server=True, bind_host=bind_host, port=port
-        )
         self.reactor = RealReactor()
         self.flight: FlightRecorder | None = None
         if flight:
-            # Attached before the core so the transport pump publishes the
-            # ring gauges. Real endpoints log wall-clock milliseconds.
+            # One ring serves both the endpoint's lifecycle events and
+            # the port's pre-route drops: a single-session recording
+            # reads exactly like the pre-daemon one. Attached before the
+            # core so the transport pump publishes the ring gauges.
             self.flight = FlightRecorder(
                 "server", clock=self.reactor.now, clock_domain="real"
             )
-            self.connection.flight = self.flight
-        self.core = ServerCore(self.reactor, self.connection, width, height)
+        self.connection = MuxUdpConnection(
+            bind_host=bind_host,
+            port=port,
+            registry=self.reactor.registry,
+            flight=self.flight,
+        )
+        self.manager = SessionManager(
+            self.reactor,
+            self.connection,
+            pty_factory=PtyHost,
+            flight_factory=(
+                (lambda conn_id: self.flight) if self.flight is not None else None
+            ),
+        )
+        # label=None keeps the bare "server" instrument prefix and the
+        # unlabeled keystroke histogram, for metric-name compatibility.
+        record = self.manager.spawn(
+            key=self.key, width=width, height=height, argv=argv, label=None
+        )
+        self._record = record
+        self.conn_id = record.conn_id
+        self.core = record.core
         self.terminal = self.core.terminal
         self.transport = self.core.transport
-        self.pty = PtyHost(argv, width, height)
-        self.core.on_input = self.pty.write
-        self.core.on_resize = self.pty.set_size
-        self.reactor.add_reader(self.connection.fileno(), self._socket_readable)
-        self.reactor.add_reader(self.pty.fileno(), self._pty_readable)
+        self.pty = record.pty
+        self.reactor.add_reader(
+            self.connection.fileno(), self.connection.receive_ready
+        )
         self.running = False
-        # Arm the pump's self-scheduling timer (no datagrams go out until
-        # the first authentic client packet reveals the remote address).
-        self.core.kick()
 
     def connect_line(self) -> str:
-        """The out-of-band bootstrap line, like mosh-server prints."""
-        return f"MOSH CONNECT {self.connection.port} {self.key.printable()}"
+        """The out-of-band bootstrap line, like mosh-server prints.
+
+        The daemon's connection id rides along as a fifth field, which
+        v1 parsers ignore.
+        """
+        return self._record.connect_line(self.connection.port)
 
     # ------------------------------------------------------------------
-
-    def _socket_readable(self) -> None:
-        # Draining the socket fires the endpoint's on_datagram hook, which
-        # kicks the core's transport pump; user events flow through
-        # ServerCore.handle_user_events.
-        self.connection.receive_ready()
-
-    def _pty_readable(self) -> None:
-        data = self.pty.read_available()
-        if data:
-            replies = self.core.host_write(data)
-            if replies:
-                self.pty.write(replies)
 
     def step(self, timeout_ms: float = 20.0) -> None:
         """One select()-driven iteration of the server loop."""
@@ -96,7 +105,7 @@ class ServerApp:
                 self.step()
                 if (
                     idle_exit_ms is not None
-                    and self.connection.last_heard is None
+                    and self._record.endpoint.last_heard is None
                     and self.reactor.now() - started > idle_exit_ms
                 ):
                     break
@@ -112,7 +121,7 @@ class ServerApp:
 
     def integrity_summary(self) -> str:
         """One-line datagram-integrity report for the shutdown banner."""
-        stats = self.connection.session.stats
+        stats = self._record.session.stats
         return (
             f"[repro-mosh-server] integrity: "
             f"{stats.auth_failures} auth failures, "
@@ -143,6 +152,5 @@ class ServerApp:
     def shutdown(self) -> None:
         self.running = False
         self.reactor.remove_reader(self.connection.fileno())
-        self.reactor.remove_reader(self.pty.fileno())
-        self.pty.terminate()
+        self.manager.close_all()
         self.connection.close()

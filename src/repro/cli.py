@@ -2,10 +2,15 @@
 
 * ``repro-mosh-server [-- command ...]`` — start the unprivileged server,
   print ``MOSH CONNECT <port> <key>``, serve until the shell exits.
-* ``repro-mosh-client <host> <port> <key>`` — connect interactively.
+* ``repro-mosh-serve --sessions N`` — start the multi-session daemon:
+  N pty sessions muxed on one UDP port, one connect line per session.
+* ``repro-mosh-client <host> <port> <key> [conn-id]`` — connect
+  interactively (the conn id comes from a daemon's connect line).
 * ``repro-mosh-demo`` — run a self-contained server+client pair on
   localhost, type a command, show the synchronized screen, and exit.
   Useful as a smoke test of the real-UDP/pty path.
+* ``repro <subcommand>`` — umbrella entry point for all of the above
+  (``repro serve``, ``repro client``, ...).
 """
 
 from __future__ import annotations
@@ -87,6 +92,58 @@ def server_main(argv: list[str] | None = None) -> int:
     return 0
 
 
+def serve_main(argv: list[str] | None = None) -> int:
+    """The session daemon: many pty sessions muxed on one UDP port."""
+    parser = argparse.ArgumentParser(
+        prog="repro-mosh-serve",
+        description="multi-session SSP daemon: N sessions on one UDP port",
+    )
+    parser.add_argument("--port", type=int, default=None, help="UDP port")
+    parser.add_argument("--bind", default="0.0.0.0", help="bind address")
+    parser.add_argument("--width", type=int, default=80)
+    parser.add_argument("--height", type=int, default=24)
+    parser.add_argument(
+        "--sessions",
+        type=int,
+        default=1,
+        help="pty sessions to spawn at startup (one connect line each)",
+    )
+    parser.add_argument(
+        "--idle-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="reap sessions with no authenticated traffic for this long",
+    )
+    parser.add_argument(
+        "command", nargs="*", help="command to run (default: $SHELL)"
+    )
+    _add_obs_flags(parser)
+    args = parser.parse_args(argv)
+    if args.sessions < 1:
+        parser.error("--sessions must be >= 1")
+
+    from repro.daemon.app import DaemonApp
+
+    app = DaemonApp(
+        argv=args.command or None,
+        bind_host=args.bind,
+        port=args.port,
+        sessions=args.sessions,
+        width=args.width,
+        height=args.height,
+        idle_timeout_ms=(
+            args.idle_timeout * 1000.0 if args.idle_timeout is not None else None
+        ),
+        flight=args.flight_log is not None,
+    )
+    for line in app.connect_lines():
+        print(line, flush=True)
+    app.run()
+    _dump_obs(app, args)
+    return 0
+
+
 def client_main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro-mosh-client", description="SSP terminal client"
@@ -94,6 +151,13 @@ def client_main(argv: list[str] | None = None) -> int:
     parser.add_argument("host")
     parser.add_argument("port", type=int)
     parser.add_argument("key", help="22-character base64 session key")
+    parser.add_argument(
+        "conn_id",
+        nargs="?",
+        type=int,
+        default=None,
+        help="mux connection id from a daemon's connect line (optional)",
+    )
     parser.add_argument(
         "--predict",
         choices=["adaptive", "always", "never", "experimental"],
@@ -115,6 +179,7 @@ def client_main(argv: list[str] | None = None) -> int:
         height=size.lines,
         preference=DisplayPreference(args.predict),
         flight=args.flight_log is not None,
+        conn_id=args.conn_id,
     )
     app.send_resize(size.columns, size.lines)
     app.run()
@@ -159,6 +224,7 @@ def mosh_main(argv: list[str] | None = None) -> int:
         width=size.columns,
         height=size.lines,
         preference=DisplayPreference(args.predict),
+        conn_id=result.conn_id,
     )
     app.send_resize(size.columns, size.lines)
     app.run()
@@ -221,5 +287,34 @@ def demo_main(argv: list[str] | None = None) -> int:
     return 0
 
 
+def main(argv: list[str] | None = None) -> int:
+    """Umbrella entry point: ``repro <subcommand> [args...]``."""
+    commands = {
+        "server": server_main,
+        "serve": serve_main,
+        "client": client_main,
+        "mosh": mosh_main,
+        "demo": demo_main,
+    }
+    argv = sys.argv[1:] if argv is None else argv
+    usage = (
+        "usage: repro {server|serve|client|mosh|demo} [args...]\n"
+        "  server  one-session SSP server (mosh-server equivalent)\n"
+        "  serve   multi-session daemon: N sessions on one UDP port\n"
+        "  client  interactive SSP client\n"
+        "  mosh    bootstrap over SSH, then connect over SSP/UDP\n"
+        "  demo    localhost server+client smoke test"
+    )
+    if not argv or argv[0] in ("-h", "--help"):
+        print(usage)
+        return 0 if argv else 2
+    command = commands.get(argv[0])
+    if command is None:
+        print(f"repro: unknown subcommand {argv[0]!r}", file=sys.stderr)
+        print(usage, file=sys.stderr)
+        return 2
+    return command(argv[1:])
+
+
 if __name__ == "__main__":  # pragma: no cover
-    sys.exit(server_main())
+    sys.exit(main())

@@ -163,6 +163,26 @@ class Session:
         stats.bytes_sealed += len(text)
         return message.nonce.wire() + sealed
 
+    def probe(self, data: bytes) -> bool:
+        """Does this datagram authenticate under this session's key?
+
+        A side-effect-free check for the mux daemon's legacy-source
+        fallback routing: no counters move and the replay window is not
+        touched, so a positive probe can be followed by a real
+        :meth:`decrypt` of the same bytes.
+        """
+        if len(data) < _NONCE_WIRE_LEN + TAG_LEN:
+            return False
+        view = memoryview(data)
+        try:
+            self._cipher.decrypt(
+                OCB_NONCE_PREFIX + bytes(view[:_NONCE_WIRE_LEN]),
+                view[_NONCE_WIRE_LEN:],
+            )
+            return True
+        except CryptoError:
+            return False
+
     def decrypt(self, data: bytes) -> Message:
         """Unseal wire bytes; raises AuthenticationError on tampering and
         ReplayError on an authentic but sequence-reusing datagram."""
@@ -233,6 +253,15 @@ class NullSession:
         stats.datagrams_sealed += 1
         stats.bytes_sealed += len(message.text)
         return wire
+
+    def probe(self, data: bytes) -> bool:
+        """Parseability stand-in for :meth:`Session.probe`.
+
+        Plaintext sessions cannot distinguish peers cryptographically, so
+        any well-formed datagram probes true — the mux daemon's legacy
+        fallback routing is only meaningful with real per-session keys.
+        """
+        return len(data) >= _NONCE_WIRE_LEN + TAG_LEN
 
     def decrypt(self, data: bytes) -> Message:
         if len(data) < _NONCE_WIRE_LEN + TAG_LEN:

@@ -1,0 +1,182 @@
+"""The deployable session daemon: N pty sessions on one UDP port.
+
+Mosh runs one server process per session; this daemon folds N sessions
+into one process and one port. A single :class:`~repro.runtime.reactor.
+RealReactor` select() loop watches the shared socket plus every
+session's pty; the :class:`~repro.daemon.mux.SessionMux` routes each
+inbound datagram to its session, and per-session
+:class:`~repro.session.core.ServerCore` instances run unchanged — each
+believes it owns a private connection.
+
+Bootstrap prints one ``MOSH CONNECT <port> <key> <conn_id>`` line per
+session (the first four fields are exactly mosh-server's; v1 parsers
+ignore the fifth). All sessions share the port; keys and conn ids are
+per-session.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+from repro.app.pty_host import PtyHost
+from repro.crypto.keys import Base64Key
+from repro.daemon.manager import SessionManager, SessionRecord
+from repro.network.connection import MuxUdpConnection
+from repro.obs.flight import FlightRecorder
+from repro.runtime.reactor import RealReactor
+
+
+class DaemonApp:
+    """Reactor shell serving many pty sessions from one UDP socket."""
+
+    def __init__(
+        self,
+        argv: list[str] | None = None,
+        bind_host: str = "0.0.0.0",
+        port: int | None = None,
+        sessions: int = 1,
+        width: int = 80,
+        height: int = 24,
+        idle_timeout_ms: float | None = None,
+        flight: bool = False,
+    ) -> None:
+        self.reactor = RealReactor()
+        self.flight: FlightRecorder | None = None
+        if flight:
+            # One daemon-level recorder holds pre-route fates (garbage,
+            # unroutable ids); each session's endpoint gets its own ring.
+            self.flight = FlightRecorder(
+                "daemon", clock=self.reactor.now, clock_domain="real"
+            )
+        self.connection = MuxUdpConnection(
+            bind_host=bind_host,
+            port=port,
+            registry=self.reactor.registry,
+            flight=self.flight,
+        )
+        self._argv = argv
+        self._width = width
+        self._height = height
+        self.session_flights: dict[int, FlightRecorder] = {}
+        flight_factory = None
+        if flight:
+            flight_factory = self._session_flight
+        self.manager = SessionManager(
+            self.reactor,
+            self.connection,
+            pty_factory=PtyHost,
+            idle_timeout_ms=idle_timeout_ms,
+            flight_factory=flight_factory,
+        )
+        self.reactor.add_reader(
+            self.connection.fileno(), self.connection.receive_ready
+        )
+        self.running = False
+        for _ in range(sessions):
+            self.spawn()
+
+    def _session_flight(self, conn_id: int) -> FlightRecorder:
+        recorder = FlightRecorder(
+            f"server.s{conn_id}", clock=self.reactor.now, clock_domain="real"
+        )
+        self.session_flights[conn_id] = recorder
+        return recorder
+
+    # ------------------------------------------------------------------
+
+    @property
+    def port(self) -> int:
+        return self.connection.port
+
+    def spawn(self, key: Base64Key | None = None) -> SessionRecord:
+        """Bring up one more session on the shared port."""
+        return self.manager.spawn(
+            key=key,
+            width=self._width,
+            height=self._height,
+            argv=self._argv,
+        )
+
+    def connect_lines(self) -> list[str]:
+        """One bootstrap line per live session."""
+        port = self.port
+        return [r.connect_line(port) for r in self.manager.records()]
+
+    # ------------------------------------------------------------------
+
+    def step(self, timeout_ms: float = 20.0) -> None:
+        """One select()-driven iteration of the daemon loop."""
+        self.reactor.run_once(timeout_ms)
+
+    def run(self, idle_exit_ms: float | None = None) -> None:
+        """Serve until every session is gone (or nobody ever connected)."""
+        self.running = True
+        started = self.reactor.now()
+        try:
+            while self.running and self.manager.conn_ids:
+                self.step()
+                if (
+                    idle_exit_ms is not None
+                    and self.reactor.now() - started > idle_exit_ms
+                    and all(
+                        r.endpoint.last_heard is None
+                        for r in self.manager.records()
+                    )
+                ):
+                    break
+        finally:
+            self.shutdown()
+            # stdout carries the MOSH CONNECT bootstrap lines, so the
+            # integrity report goes to stderr.
+            print(self.integrity_summary(), file=sys.stderr, flush=True)
+
+    def shutdown(self) -> None:
+        self.running = False
+        self.reactor.remove_reader(self.connection.fileno())
+        self.manager.close_all()
+        self.connection.close()
+
+    # ------------------------------------------------------------------
+    # Observability surface
+    # ------------------------------------------------------------------
+
+    def integrity_summary(self) -> str:
+        """Datagram-integrity report covering every session."""
+        auth = replay = 0
+        parts = []
+        for record in self.manager.records():
+            stats = record.session.stats
+            auth += stats.auth_failures
+            replay += stats.replay_drops
+            parts.append(
+                f"{record.name}: {stats.auth_failures}/{stats.replay_drops}"
+            )
+        detail = f" ({', '.join(parts)})" if parts else ""
+        return (
+            f"[repro-mosh-daemon] integrity: {auth} auth failures, "
+            f"{replay} replay drops across "
+            f"{len(parts)} sessions{detail}"
+        )
+
+    def write_metrics(self, path: str) -> dict:
+        """Dump the daemon-wide ``repro.obs/1`` snapshot as JSON."""
+        doc = self.reactor.registry.snapshot()
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(doc, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        return doc
+
+    def write_trace(self, path: str) -> int:
+        """Export the span ring as Chrome ``trace_event`` JSON."""
+        return self.reactor.tracer.export_chrome(path)
+
+    def write_flight_log(self, path: str) -> int:
+        """Export the daemon-level flight recording (pre-route fates).
+
+        Per-session recordings live in :attr:`session_flights`, keyed by
+        connection id; export them individually for timeline merges.
+        """
+        if self.flight is None:
+            raise RuntimeError("daemon started without a flight recorder")
+        return self.flight.export_jsonl(path)

@@ -1,0 +1,266 @@
+"""Session lifecycle for the one-port daemon.
+
+A :class:`SessionManager` owns the sessions living behind one
+:class:`~repro.daemon.mux.SessionMux`: it spawns them (key + virtual
+endpoint + :class:`~repro.session.core.ServerCore` + optionally a pty),
+tears them down, and runs the idle reaper — a reactor timer that closes
+sessions that have heard no authenticated traffic for the configured
+timeout, freeing their pty and routing entries. Mosh's one-process-per-
+session model never needed a reaper (the process *was* the lifetime);
+once N sessions share a process, lifetime must be explicit.
+
+The manager is substrate-neutral. It needs only a reactor and anything
+with ``open_endpoint(session, conn_id=, mtu=)`` — the real daemon passes
+a :class:`~repro.network.connection.MuxUdpConnection`, the simulator
+passes the :class:`~repro.daemon.mux.SessionMux` directly. Ptys are
+injected via ``pty_factory`` so simulated daemons run without processes.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.crypto.keys import Base64Key
+from repro.crypto.session import Session
+from repro.daemon.mux import VirtualEndpoint
+from repro.obs.flight import FlightRecorder
+from repro.runtime.reactor import Reactor, TimerHandle
+from repro.session.core import ServerCore
+
+#: How often the idle reaper wakes, as a fraction of the idle timeout.
+REAP_INTERVAL_DIVISOR = 4
+
+#: Reaper wake-interval bounds, milliseconds.
+REAP_INTERVAL_MIN_MS = 250.0
+REAP_INTERVAL_MAX_MS = 30_000.0
+
+
+class SessionRecord:
+    """Everything the daemon holds for one live session."""
+
+    __slots__ = (
+        "conn_id",
+        "name",
+        "key",
+        "session",
+        "endpoint",
+        "core",
+        "pty",
+        "created_at",
+        "state",
+    )
+
+    def __init__(
+        self,
+        conn_id: int,
+        name: str,
+        key: Base64Key,
+        session: Session,
+        endpoint: VirtualEndpoint,
+        core: ServerCore,
+        pty: Any,
+        created_at: float,
+    ) -> None:
+        self.conn_id = conn_id
+        self.name = name
+        self.key = key
+        self.session = session
+        self.endpoint = endpoint
+        self.core = core
+        self.pty = pty
+        self.created_at = created_at
+        #: "open" while routed; "closed" / "reaped" / "exited" afterwards.
+        self.state = "open"
+
+    def last_heard(self) -> float:
+        """Last authenticated-traffic time (creation time until then)."""
+        heard = self.endpoint.last_heard
+        return self.created_at if heard is None else heard
+
+    def connect_line(self, port: int) -> str:
+        """This session's bootstrap line.
+
+        The first four fields are exactly mosh-server's ``MOSH CONNECT
+        <port> <key>``; the daemon appends the connection id as a fifth
+        field, which v1 parsers ignore.
+        """
+        return f"MOSH CONNECT {port} {self.key.printable()} {self.conn_id}"
+
+
+class SessionManager:
+    """Spawn/attach/reap lifecycle for the sessions behind one mux."""
+
+    def __init__(
+        self,
+        reactor: Reactor,
+        port: Any,
+        pty_factory: Callable[..., Any] | None = None,
+        idle_timeout_ms: float | None = None,
+        flight_factory: Callable[[int], FlightRecorder] | None = None,
+    ) -> None:
+        self._reactor = reactor
+        self._port = port
+        self._pty_factory = pty_factory
+        self._flight_factory = flight_factory
+        self._idle_timeout_ms = idle_timeout_ms
+        self._records: dict[int, SessionRecord] = {}
+        registry = reactor.registry
+        self._spawned = registry.counter("daemon.sessions_spawned")
+        self._reaped = registry.counter("daemon.sessions_reaped")
+        self._exited = registry.counter("daemon.sessions_exited")
+        registry.gauge("daemon.sessions_active", fn=lambda: len(self._records))
+        self._reap_timer: TimerHandle | None = None
+        # The reaper also collects dead-pty sessions, so it runs whenever
+        # there are ptys to watch, not only when an idle timeout is set.
+        if idle_timeout_ms is not None or pty_factory is not None:
+            self._arm_reaper()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    @property
+    def conn_ids(self) -> list[int]:
+        return sorted(self._records)
+
+    @property
+    def idle_timeout_ms(self) -> float | None:
+        return self._idle_timeout_ms
+
+    def get(self, conn_id: int) -> SessionRecord | None:
+        return self._records.get(conn_id)
+
+    def records(self) -> list[SessionRecord]:
+        return [self._records[cid] for cid in sorted(self._records)]
+
+    def spawn(
+        self,
+        key: Base64Key | None = None,
+        conn_id: int | None = None,
+        width: int = 80,
+        height: int = 24,
+        argv: list[str] | None = None,
+        label: str | None = "auto",
+        mtu: int = 500,
+        timing: Any = None,
+    ) -> SessionRecord:
+        """Bring up one complete session on the shared port.
+
+        ``label`` scopes the session's instrument names; the default
+        derives ``s<conn_id>``, and an explicit ``None`` keeps the bare
+        ``server`` prefix (single-session compatibility shells).
+        """
+        key = key or Base64Key.new()
+        session = Session(key)
+        endpoint = self._port.open_endpoint(session, conn_id=conn_id, mtu=mtu)
+        cid = endpoint.conn_id
+        assert cid is not None
+        if label == "auto":
+            label = f"s{cid}"
+        if self._flight_factory is not None:
+            # Attached before the core so the pump publishes ring gauges
+            # under this session's labelled role.
+            endpoint.flight = self._flight_factory(cid)
+        core = ServerCore(
+            self._reactor, endpoint, width, height, timing=timing, label=label
+        )
+        pty = None
+        if self._pty_factory is not None:
+            pty = self._pty_factory(argv, width, height)
+            core.on_input = pty.write
+            core.on_resize = pty.set_size
+            self._reactor.add_reader(
+                pty.fileno(), self._make_pty_reader(cid)
+            )
+        record = SessionRecord(
+            conn_id=cid,
+            name=label if label is not None else "server",
+            key=key,
+            session=session,
+            endpoint=endpoint,
+            core=core,
+            pty=pty,
+            created_at=self._reactor.now(),
+        )
+        self._records[cid] = record
+        self._spawned.value += 1
+        core.kick()
+        return record
+
+    def _make_pty_reader(self, conn_id: int) -> Callable[[], None]:
+        def on_readable() -> None:
+            record = self._records.get(conn_id)
+            if record is None or record.pty is None:
+                return
+            data = record.pty.read_available()
+            if data:
+                replies = record.core.host_write(data)
+                if replies:
+                    record.pty.write(replies)
+
+        return on_readable
+
+    def close(self, conn_id: int, state: str = "closed") -> bool:
+        """Tear one session down: pty, routing entry, reader."""
+        record = self._records.pop(conn_id, None)
+        if record is None:
+            return False
+        record.state = state
+        if record.pty is not None:
+            self._reactor.remove_reader(record.pty.fileno())
+            record.pty.terminate()
+        record.endpoint.close()
+        return True
+
+    def close_all(self) -> None:
+        for conn_id in list(self._records):
+            self.close(conn_id)
+        if self._reap_timer is not None:
+            self._reap_timer.cancel()
+            self._reap_timer = None
+
+    # ------------------------------------------------------------------
+    # Idle reaper
+    # ------------------------------------------------------------------
+
+    def _arm_reaper(self) -> None:
+        if self._idle_timeout_ms is None:
+            interval = 1000.0  # dead-pty collection only
+        else:
+            interval = min(
+                max(
+                    self._idle_timeout_ms / REAP_INTERVAL_DIVISOR,
+                    REAP_INTERVAL_MIN_MS,
+                ),
+                REAP_INTERVAL_MAX_MS,
+            )
+        self._reap_timer = self._reactor.call_later(interval, self._reap_tick)
+
+    def _reap_tick(self) -> None:
+        self.reap(self._reactor.now())
+        self._arm_reaper()
+
+    def reap(self, now: float | None = None) -> list[SessionRecord]:
+        """Close idle and dead-pty sessions; returns what was culled.
+
+        Runs automatically from the reaper timer when an idle timeout is
+        configured; harnesses may also call it directly.
+        """
+        if now is None:
+            now = self._reactor.now()
+        culled: list[SessionRecord] = []
+        for conn_id in list(self._records):
+            record = self._records[conn_id]
+            if record.pty is not None and not record.pty.alive():
+                self.close(conn_id, state="exited")
+                self._exited.value += 1
+                culled.append(record)
+                continue
+            if (
+                self._idle_timeout_ms is not None
+                and now - record.last_heard() > self._idle_timeout_ms
+            ):
+                self.close(conn_id, state="reaped")
+                self._reaped.value += 1
+                culled.append(record)
+        return culled

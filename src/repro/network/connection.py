@@ -14,14 +14,37 @@ from __future__ import annotations
 
 import errno
 import socket
+from typing import Any
 
 from repro.clock import Clock, RealClock
 from repro.crypto.session import NullSession, Session
+from repro.daemon.mux import SessionMux, VirtualEndpoint
 from repro.errors import NetworkError
 from repro.network.interface import DatagramEndpoint
-from repro.obs.flight import peek_seq
+from repro.obs.flight import DIR_S2C, FlightRecorder, peek_seq
+from repro.obs.registry import MetricsRegistry
 
 PORT_RANGE = (60001, 60999)
+
+
+def _bind_server(sock: socket.socket, host: str, port: int | None) -> None:
+    """Bind a server socket: the requested port, or the first free one in
+    the mosh range."""
+    if port is not None:
+        try:
+            sock.bind((host, port))
+            return
+        except OSError as exc:
+            raise NetworkError(f"cannot bind UDP port {port}: {exc}") from exc
+    lo, hi = PORT_RANGE
+    for candidate in range(lo, hi + 1):
+        try:
+            sock.bind((host, candidate))
+            return
+        except OSError as exc:
+            if exc.errno != errno.EADDRINUSE:
+                raise NetworkError(f"cannot bind: {exc}") from exc
+    raise NetworkError(f"no free UDP port in {lo}..{hi}")
 
 
 class UdpConnection(DatagramEndpoint):
@@ -35,32 +58,37 @@ class UdpConnection(DatagramEndpoint):
         port: int | None = None,
         clock: Clock | None = None,
         mtu: int = 500,
+        conn_id: int | None = None,
     ) -> None:
         super().__init__(session=session, is_server=is_server, mtu=mtu)
+        if conn_id is not None:
+            self.set_conn_id(conn_id)
         self._clock = clock or RealClock()
+        self._bind_host = bind_host
         self._sock = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
         self._sock.setblocking(False)
         if is_server:
-            self._bind(bind_host, port)
+            _bind_server(self._sock, bind_host, port)
         else:
             self._sock.bind((bind_host, 0))
 
-    def _bind(self, host: str, port: int | None) -> None:
-        if port is not None:
-            try:
-                self._sock.bind((host, port))
-                return
-            except OSError as exc:
-                raise NetworkError(f"cannot bind UDP port {port}: {exc}") from exc
-        lo, hi = PORT_RANGE
-        for candidate in range(lo, hi + 1):
-            try:
-                self._sock.bind((host, candidate))
-                return
-            except OSError as exc:
-                if exc.errno != errno.EADDRINUSE:
-                    raise NetworkError(f"cannot bind: {exc}") from exc
-        raise NetworkError(f"no free UDP port in {lo}..{hi}")
+    def rebind(self, bind_host: str | None = None) -> int:
+        """Move a client to a fresh source address; returns the new fd.
+
+        This is the roaming primitive: the old socket closes, subsequent
+        datagrams leave from a new ephemeral port, and the server
+        re-targets to the new source once one authenticates. Callers
+        driving a select loop must re-register the returned descriptor.
+        """
+        if self._is_server:
+            raise NetworkError("only clients roam; the server address is fixed")
+        if bind_host is not None:
+            self._bind_host = bind_host
+        self._sock.close()
+        self._sock = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+        self._sock.setblocking(False)
+        self._sock.bind((self._bind_host, 0))
+        return self._sock.fileno()
 
     # ------------------------------------------------------------------
 
@@ -107,3 +135,113 @@ class UdpConnection(DatagramEndpoint):
 
     def close(self) -> None:
         self._sock.close()
+
+
+class MuxUdpConnection:
+    """One UDP socket carrying many sessions — the daemon's port.
+
+    Where :class:`UdpConnection` *is* an endpoint, this owns a
+    :class:`~repro.daemon.mux.SessionMux` and hands out
+    :class:`~repro.daemon.mux.VirtualEndpoint` instances, one per
+    session; each behaves exactly like a private connection to its
+    session core. The socket surface (``port``, ``fileno``,
+    ``receive_ready``, ``close``) matches :class:`UdpConnection` so the
+    select-loop plumbing is identical.
+    """
+
+    def __init__(
+        self,
+        bind_host: str = "0.0.0.0",
+        port: int | None = None,
+        clock: Clock | None = None,
+        registry: MetricsRegistry | None = None,
+        flight: FlightRecorder | None = None,
+    ) -> None:
+        self._clock = clock or RealClock()
+        self._sock = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+        self._sock.setblocking(False)
+        _bind_server(self._sock, bind_host, port)
+        self.mux = SessionMux(
+            clock=self._clock.now,
+            transmit=self._sendto,
+            registry=registry,
+            flight=flight,
+        )
+
+    # ------------------------------------------------------------------
+
+    @property
+    def port(self) -> int:
+        return self._sock.getsockname()[1]
+
+    def fileno(self) -> int:
+        """For select()-based event loops."""
+        return self._sock.fileno()
+
+    def now(self) -> float:
+        return self._clock.now()
+
+    def open_endpoint(
+        self,
+        session: Session | NullSession,
+        conn_id: int | None = None,
+        mtu: int = 500,
+    ) -> VirtualEndpoint:
+        """Attach one session to this port (id allocated when None)."""
+        return self.mux.open_endpoint(session, conn_id=conn_id, mtu=mtu)
+
+    def _sendto(self, raw: bytes, addr: Any, now: float) -> None:
+        if addr is None:
+            return
+        try:
+            self._sock.sendto(raw, addr)
+        except OSError:
+            # Same policy as UdpConnection._transmit: a failed send is
+            # wire loss with a locally recorded fate.
+            if self.mux.flight is not None:
+                self.mux.flight.note_drop(
+                    now, DIR_S2C, "send_err",
+                    seq=peek_seq(raw), wire_len=len(raw),
+                )
+
+    def receive_ready(self) -> int:
+        """Drain the socket, routing each datagram to its session."""
+        count = 0
+        now = self._clock.now()
+        while True:
+            try:
+                raw, addr = self._sock.recvfrom(65536)
+            except BlockingIOError:
+                break
+            except OSError:
+                break
+            self.mux.dispatch(raw, addr, now)
+            count += 1
+        return count
+
+    def close(self) -> None:
+        self._sock.close()
+
+    # ------------------------------------------------------------------
+    # Single-session compatibility (ServerApp wraps a one-session daemon)
+
+    def _sole_endpoint(self) -> VirtualEndpoint:
+        ids = self.mux.conn_ids
+        if len(ids) != 1:
+            raise NetworkError(
+                f"{len(ids)} sessions on this port; "
+                "single-session accessors need exactly one"
+            )
+        endpoint = self.mux.endpoint(ids[0])
+        assert endpoint is not None
+        return endpoint
+
+    @property
+    def session(self) -> Session | NullSession:
+        """The sole session's sealing state (single-session shells only)."""
+        return self._sole_endpoint().session
+
+    @property
+    def last_heard(self) -> float | None:
+        """The sole session's liveness stamp (single-session shells only)."""
+        return self._sole_endpoint().last_heard

@@ -26,6 +26,8 @@ from repro.errors import CryptoError, NetworkError, PacketError, ReplayError
 from repro.network.packet import (
     TIMESTAMP_NONE,
     Packet,
+    encode_conn_id,
+    peek_conn_id,
     timestamp16,
     timestamp_diff,
 )
@@ -70,6 +72,16 @@ class DatagramEndpoint(ABC):
         self._dir_in = DIR_C2S if is_server else DIR_S2C
         self._next_seq = 0
         self._expected_receiver_seq = 0
+        # Mux (v2) wire framing: when a connection id is attached, sent
+        # datagrams carry the cleartext conn-id header and framed inbound
+        # datagrams must match it. ``_peer_legacy`` tracks whether the
+        # authenticated peer speaks v1 (so we answer unframed).
+        self._conn_id: int | None = None
+        self._conn_header: bytes | None = None
+        self._peer_legacy = False
+        #: Inbound datagrams dropped before decryption for bad or
+        #: mismatched mux framing (surfaced alongside crypto counters).
+        self.framing_drops = 0
         self._rtt = RttEstimator()
         # Peer-timestamp bookkeeping for adjusted timestamp replies.
         self._saved_timestamp: int | None = None
@@ -98,6 +110,56 @@ class DatagramEndpoint(ABC):
         """Put raw sealed bytes on the wire toward ``self._remote_addr``."""
 
     # ------------------------------------------------------------------
+    # Mux framing
+    # ------------------------------------------------------------------
+
+    @property
+    def conn_id(self) -> int | None:
+        """The session's cleartext connection id, if muxed."""
+        return self._conn_id
+
+    def set_conn_id(self, conn_id: int | None) -> None:
+        """Attach (or detach) the mux connection id for this session.
+
+        With an id attached, outgoing datagrams gain the v2 conn-id
+        header (unless the authenticated peer turned out to speak v1)
+        and framed inbound datagrams must carry the matching id.
+        """
+        self._conn_id = conn_id
+        self._conn_header = (
+            encode_conn_id(conn_id) if conn_id is not None else None
+        )
+
+    def _unframe(self, raw: bytes, now: float):
+        """Strip/validate the mux header; returns (body, arrived_framed).
+
+        Returns ``(None, False)`` when the datagram must be dropped:
+        pre-auth garbage or a conn id that does not belong to this
+        session. Both fates are counted and flight-logged — they can
+        never raise, whatever bytes the network delivers.
+        """
+        peeked = peek_conn_id(raw)
+        if peeked is None:
+            self.framing_drops += 1
+            if self.flight is not None and _obs._enabled:
+                self.flight.note_drop(
+                    now, self._dir_in, "bad_packet", wire_len=len(raw)
+                )
+            return None, False
+        cid, header_len = peeked
+        if cid is None:
+            return raw, False
+        if cid != self._conn_id:
+            self.framing_drops += 1
+            if self.flight is not None and _obs._enabled:
+                self.flight.note_drop(
+                    now, self._dir_in, "no_route",
+                    seq=peek_seq(raw), wire_len=len(raw),
+                )
+            return None, False
+        return raw[header_len:], True
+
+    # ------------------------------------------------------------------
     # Sending
     # ------------------------------------------------------------------
 
@@ -114,6 +176,8 @@ class DatagramEndpoint(ABC):
         raw = self._session.encrypt(
             Message(nonce=packet.nonce, text=packet.to_plaintext())
         )
+        if self._conn_header is not None and not self._peer_legacy:
+            raw = self._conn_header + raw
         self.datagrams_sent += 1
         self.bytes_sent += len(raw)
         if self.flight is not None and _obs._enabled:
@@ -160,6 +224,11 @@ class DatagramEndpoint(ABC):
         # than inside note_*, so a disabled recorder also skips the
         # fragment peek and estimator reads that only feed the log.
         flight = self.flight if _obs._enabled else None
+        arrived_framed = False
+        if self._conn_id is not None:
+            raw, arrived_framed = self._unframe(raw, now)
+            if raw is None:
+                return
         try:
             message = self._session.decrypt(raw)
         except ReplayError:
@@ -188,6 +257,10 @@ class DatagramEndpoint(ABC):
                     seq=message.nonce.seq, wire_len=len(raw),
                 )
             return  # reflected packet
+        if self._conn_id is not None:
+            # Only an *authenticated* datagram may decide the peer's wire
+            # dialect; an attacker's framing choice must not flip ours.
+            self._peer_legacy = not arrived_framed
         try:
             packet = Packet.from_plaintext(message.nonce, message.text)
         except PacketError:

@@ -67,11 +67,25 @@ DROP_REASONS = (
     "auth",        # OCB tag verification failed
     "replay",      # authentic but sequence-reusing (duplicate) datagram
     "reflect",     # our own direction bit came back at us
-    "bad_packet",  # authenticated but unparseable packet body
+    "bad_packet",  # pre-auth unparseable header, or unparseable packet body
+    "no_route",    # mux daemon: no session owns this connection id/source
     "send_err",    # the real-UDP socket refused the transmit
 )
 
 _EVENT_KINDS = ("send", "recv", "drop", "inst")
+
+#: First byte of a muxed datagram (mirrors packet.CONN_WIRE_MAGIC; the
+#: packet module is imported lazily below to keep this module import-light).
+_CONN_WIRE_MAGIC = 0xD6
+
+
+def _peek_conn_id(raw):
+    """Lazy proxy for :func:`repro.network.packet.peek_conn_id`."""
+    global _peek_conn_id
+    from repro.network.packet import peek_conn_id
+
+    _peek_conn_id = peek_conn_id
+    return peek_conn_id(raw)
 
 
 def peek_seq(raw: bytes | memoryview) -> int | None:
@@ -80,8 +94,15 @@ def peek_seq(raw: bytes | memoryview) -> int | None:
     The 8-byte nonce (direction bit | sequence) travels ahead of the
     sealed payload, so even a datagram that fails authentication still
     yields the sequence number its sender claimed — exactly what a drop
-    event should record.
+    event should record. Muxed (v2) datagrams carry a connection-id
+    header ahead of the nonce; it is skipped here. Never raises on
+    truncated or garbage input — this runs pre-auth on hostile bytes.
     """
+    if len(raw) >= 1 and raw[0] == _CONN_WIRE_MAGIC:
+        peeked = _peek_conn_id(raw)
+        if peeked is None:
+            return None
+        raw = raw[peeked[1]:]
     if len(raw) < 8:
         return None
     value = int.from_bytes(bytes(raw[:8]), "big")

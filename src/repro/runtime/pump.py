@@ -60,12 +60,22 @@ def _adopt(registry: MetricsRegistry, instrument, name: str):
 class TransportPump:
     """Self-scheduling pump binding one :class:`Transport` to a reactor."""
 
-    def __init__(self, reactor: Reactor, transport: Transport) -> None:
+    def __init__(
+        self,
+        reactor: Reactor,
+        transport: Transport,
+        role: str | None = None,
+    ) -> None:
         self._reactor = reactor
         self._transport = transport
         self._timer: TimerHandle | None = None
         endpoint = transport.endpoint
-        self.role = "server" if endpoint.is_server else "client"
+        # ``role`` prefixes every adopted instrument name; daemon shells
+        # pass per-session labels ("server.s3") so N pumps share a
+        # registry without colliding.
+        if role is None:
+            role = "server" if endpoint.is_server else "client"
+        self.role = role
         self._sent_seen = endpoint.datagrams_sent
         stats = endpoint.session.stats
         self._crypto_seen = (

@@ -167,6 +167,26 @@ class Reactor(ABC):
         #: Span tracer timed by this reactor's clock (``now`` is abstract
         #: but only sampled at span time, after subclass init completes).
         self.tracer = SpanTracer(self.now)
+        self._core_labels: list[str] = []
+        self.registry.gauge("reactor.cores", fn=lambda: len(self._core_labels))
+
+    def register_core(self, role: str, label: str | None = None) -> str:
+        """Register a session core; returns its instrument-name prefix.
+
+        One reactor can drive many cores off a single timer heap (the
+        session daemon runs N servers on one select loop). A solitary
+        core keeps the bare ``server``/``client`` prefix for metric-name
+        compatibility; labelled cores get ``server.s3``-style prefixes so
+        every session's instruments coexist in one registry.
+        """
+        prefix = role if label is None else f"{role}.{label}"
+        self._core_labels.append(prefix)
+        return prefix
+
+    @property
+    def core_labels(self) -> list[str]:
+        """Instrument prefixes of every core registered on this reactor."""
+        return list(self._core_labels)
 
     @abstractmethod
     def now(self) -> float:

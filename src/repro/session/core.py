@@ -43,15 +43,19 @@ class ServerCore:
         height: int = 24,
         timing: SenderTiming | None = None,
         record_send_log: bool = False,
+        label: str | None = None,
     ) -> None:
         self.reactor = reactor
+        #: Instrument-name prefix ("server", or "server.s3" under a
+        #: daemon reactor hosting many cores).
+        self.role = reactor.register_core("server", label)
         self.terminal = Complete(width, height)
         self.transport: Transport[Complete, UserStream] = Transport(
             endpoint, self.terminal, UserStream(), timing
         )
         self.transport.on_remote_state = self.handle_user_events
         self.transport.sender.record_send_log = record_send_log
-        self._pump = TransportPump(reactor, self.transport)
+        self._pump = TransportPump(reactor, self.transport, role=self.role)
         self._processed_events = 0
         self._echo_timer: TimerHandle | None = None
         #: Application hook: receives raw user bytes.
@@ -157,8 +161,12 @@ class ClientCore:
         timing: SenderTiming | None = None,
         preference: DisplayPreference = DisplayPreference.ADAPTIVE,
         heartbeat_ms: float | None = None,
+        label: str | None = None,
     ) -> None:
         self.reactor = reactor
+        #: Instrument-name prefix ("client", or "client.c3" when many
+        #: clients share one reactor in multi-session harnesses).
+        self.role = reactor.register_core("client", label)
         self.transport: Transport[UserStream, Complete] = Transport(
             endpoint, UserStream(), Complete(width, height), timing
         )
@@ -169,14 +177,21 @@ class ClientCore:
         # the warning bar clears on the same frame that proves the server
         # is alive. The pump chains this hook ahead of its own kick.
         endpoint.on_datagram = self.notifications.server_heard
-        self._pump = TransportPump(reactor, self.transport)
+        self._pump = TransportPump(reactor, self.transport, role=self.role)
         #: Per-keystroke echo latency: stamped at UserStream ingestion in
         #: :meth:`type_bytes`, settled when a frame's echo-ack covers the
         #: event index — the live form of the paper's Figure 2.
-        self.keystrokes = KeystrokeLatencyTracker(reactor.registry)
+        keystroke_name = (
+            "keystroke.echo_ms"
+            if label is None
+            else f"keystroke.{label}.echo_ms"
+        )
+        self.keystrokes = KeystrokeLatencyTracker(
+            reactor.registry, name=keystroke_name
+        )
         self._prediction_seen = self._prediction_counts()
         self._prediction_counters = {
-            name: reactor.registry.counter(f"client.prediction.{name}")
+            name: reactor.registry.counter(f"{self.role}.prediction.{name}")
             for name in self._prediction_seen
         }
         #: Display-change subscribers (renderers, the latency harness).

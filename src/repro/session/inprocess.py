@@ -40,6 +40,7 @@ class MoshServer(ServerCore):
         height: int = 24,
         timing: SenderTiming | None = None,
         reactor: SimReactor | None = None,
+        label: str | None = None,
     ) -> None:
         super().__init__(
             reactor if reactor is not None else SimReactor(loop),
@@ -48,6 +49,7 @@ class MoshServer(ServerCore):
             height,
             timing,
             record_send_log=True,
+            label=label,
         )
         self.loop = loop
 
@@ -67,6 +69,7 @@ class MoshClient(ClientCore):
         timing: SenderTiming | None = None,
         preference: DisplayPreference = DisplayPreference.ADAPTIVE,
         reactor: SimReactor | None = None,
+        label: str | None = None,
     ) -> None:
         super().__init__(
             reactor if reactor is not None else SimReactor(loop),
@@ -75,6 +78,7 @@ class MoshClient(ClientCore):
             height,
             timing,
             preference,
+            label=label,
         )
         self.loop = loop
 
@@ -229,3 +233,159 @@ class InProcessSession:
         self.client.pump()
         self.server.pump()
         self.run_for(warmup_ms)
+
+
+class InProcessDaemon:
+    """A session daemon and N concurrent clients inside the simulator.
+
+    The multi-session counterpart of :class:`InProcessSession`: one
+    :class:`~repro.runtime.SimReactor` drives every server core off a
+    single timer heap, one :class:`~repro.simnet.host.SimMuxPort`
+    address stands in for the daemon's UDP socket, and a
+    :class:`~repro.daemon.mux.SessionMux` routes between them. Clients
+    share the simulated links (so N sessions genuinely contend for
+    bandwidth) and are labelled ``c<conn_id>``; servers ``s<conn_id>``.
+
+    Every endpoint gets a flight recorder, so tests can assert the
+    strongest isolation property directly: each session's recv fates
+    partition cleanly against its own client's sends, with zero
+    cross-session delivery.
+    """
+
+    DAEMON_ADDR = "daemon"
+
+    def __init__(
+        self,
+        uplink: LinkConfig,
+        downlink: LinkConfig,
+        sessions: int = 2,
+        width: int = 80,
+        height: int = 24,
+        seed: int = 0,
+        timing: SenderTiming | None = None,
+        preference: DisplayPreference = DisplayPreference.ADAPTIVE,
+        idle_timeout_ms: float | None = None,
+        conn_id_framing: bool = True,
+        echo: bool = True,
+        flight_capacity: int = 8192,
+    ) -> None:
+        # Deferred import: repro.daemon.manager imports this package for
+        # ServerCore, so binding at class-definition time would cycle.
+        from repro.daemon.manager import SessionManager
+        from repro.daemon.mux import SessionMux
+        from repro.simnet.host import SimMuxPort
+
+        self.loop = EventLoop()
+        self.reactor = SimReactor(self.loop)
+        self.network = SimNetwork(self.loop, uplink, downlink, seed=seed)
+        self._timing = timing
+        self._preference = preference
+        self._width = width
+        self._height = height
+        self._conn_id_framing = conn_id_framing
+        self._echo = echo
+        self._flight_capacity = flight_capacity
+        #: Pre-route fates (garbage, unroutable conn ids) land here.
+        self.daemon_flight = FlightRecorder(
+            "daemon", clock=self.loop.now, clock_domain="sim",
+            capacity=flight_capacity,
+        )
+        self.mux = SessionMux(
+            clock=self.loop.now,
+            registry=self.reactor.registry,
+            flight=self.daemon_flight,
+        )
+        self.port = SimMuxPort(
+            self.network, self.DAEMON_ADDR, handler=self.mux.dispatch
+        )
+        self.mux.transmit = self.port.transmit
+        self.server_flights: dict[int, FlightRecorder] = {}
+        self.client_flights: dict[int, FlightRecorder] = {}
+        self.manager = SessionManager(
+            self.reactor,
+            self.mux,
+            idle_timeout_ms=idle_timeout_ms,
+            flight_factory=self._server_flight,
+        )
+        self.clients: dict[int, MoshClient] = {}
+        for _ in range(sessions):
+            self.add_session()
+
+    def _server_flight(self, conn_id: int) -> FlightRecorder:
+        recorder = FlightRecorder(
+            f"server.s{conn_id}", clock=self.loop.now, clock_domain="sim",
+            capacity=self._flight_capacity,
+        )
+        self.server_flights[conn_id] = recorder
+        return recorder
+
+    # ------------------------------------------------------------------
+
+    def add_session(self, key: Base64Key | None = None):
+        """Spawn one server session and its connected client; returns
+        (record, client)."""
+        key = key or Base64Key.new()
+        record = self.manager.spawn(
+            key=key, width=self._width, height=self._height,
+            timing=self._timing,
+        )
+        cid = record.conn_id
+        if self._echo:
+            # Default "application": echo user bytes straight back into
+            # the session's terminal, so typed markers become screen
+            # content without a pty.
+            record.core.on_input = record.core.host_write
+        client_endpoint = SimUdpEndpoint(
+            self.network,
+            Session(key),
+            is_server=False,
+            local_addr=f"client-{cid}",
+            conn_id=cid if self._conn_id_framing else None,
+        )
+        client_endpoint.set_remote_addr(self.DAEMON_ADDR)
+        recorder = FlightRecorder(
+            f"client.c{cid}", clock=self.loop.now, clock_domain="sim",
+            capacity=self._flight_capacity,
+        )
+        self.client_flights[cid] = recorder
+        client_endpoint.flight = recorder
+        client = MoshClient(
+            self.loop,
+            client_endpoint,
+            self._width,
+            self._height,
+            self._timing,
+            self._preference,
+            reactor=self.reactor,
+            label=f"c{cid}",
+        )
+        self.clients[cid] = client
+        return record, client
+
+    @property
+    def conn_ids(self) -> list[int]:
+        return self.manager.conn_ids
+
+    def client(self, conn_id: int) -> MoshClient:
+        return self.clients[conn_id]
+
+    def record(self, conn_id: int):
+        return self.manager.get(conn_id)
+
+    # ------------------------------------------------------------------
+
+    def run_for(self, duration_ms: float) -> None:
+        """Advance the simulation by ``duration_ms``."""
+        self.loop.run_for(duration_ms)
+
+    def connect(self, warmup_ms: float = 2000.0) -> None:
+        """First packet exchange for every session."""
+        for client in self.clients.values():
+            client.pump()
+        for record in self.manager.records():
+            record.core.kick()
+        self.run_for(warmup_ms)
+
+    def metrics_snapshot(self) -> dict:
+        """The daemon-wide ``repro.obs/1`` snapshot document."""
+        return self.reactor.registry.snapshot()

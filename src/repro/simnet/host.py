@@ -82,8 +82,11 @@ class SimUdpEndpoint(DatagramEndpoint):
         is_server: bool,
         local_addr: str,
         mtu: int = 500,
+        conn_id: int | None = None,
     ) -> None:
         super().__init__(session=session, is_server=is_server, mtu=mtu)
+        if conn_id is not None:
+            self.set_conn_id(conn_id)
         self._network = network
         self._side = SERVER_SIDE if is_server else CLIENT_SIDE
         self._local_addr = local_addr
@@ -113,3 +116,47 @@ class SimUdpEndpoint(DatagramEndpoint):
     def deliver(self, raw: bytes, src_addr: str) -> None:
         """Called by the network when a datagram arrives."""
         self._handle_datagram(raw, src_addr, self._network.loop.now())
+
+
+class SimMuxPort:
+    """The daemon's shared port inside the simulator.
+
+    The sim-side counterpart of the real daemon's UDP socket: one
+    network address whose inbound datagrams all go to a single handler
+    (a :class:`~repro.daemon.mux.SessionMux` dispatch, injected as a
+    plain callable so this module stays independent of the daemon
+    package) and whose ``transmit`` carries any session's bytes out on
+    the server side of the links.
+    """
+
+    def __init__(
+        self,
+        network: SimNetwork,
+        local_addr: str,
+        handler=None,
+    ) -> None:
+        self._network = network
+        self._local_addr = local_addr
+        #: ``handler(raw, src_addr, now)`` — the mux's dispatch.
+        self.handler = handler
+        network.register(local_addr, self)
+
+    @property
+    def local_addr(self) -> str:
+        return self._local_addr
+
+    def deliver(self, raw: bytes, src_addr: str) -> None:
+        """Called by the network when a datagram arrives."""
+        if self.handler is not None:
+            self.handler(raw, src_addr, self._network.loop.now())
+
+    def transmit(self, raw: bytes, dst_addr, now: float) -> None:
+        """Outbound raw-byte path handed to the mux."""
+        if dst_addr is None:
+            return  # session has not heard from its client yet
+        self._network.send_datagram(
+            SERVER_SIDE, self._local_addr, str(dst_addr), raw
+        )
+
+    def close(self) -> None:
+        self._network.unregister(self._local_addr)

@@ -3,7 +3,7 @@
 from repro.crypto.keys import Base64Key, Nonce
 from repro.crypto.session import NullSession, Session
 from repro.network.interface import DatagramEndpoint
-from repro.network.packet import Packet, timestamp16
+from repro.network.packet import Packet, peek_conn_id, timestamp16
 
 
 class RecordingEndpoint(DatagramEndpoint):
@@ -150,3 +150,59 @@ class TestEncryptedEndToEnd:
         assert client.pop_received() == [b"frame"]
         # The reply carried a hold-adjusted timestamp: 30-0 minus 10 held.
         assert client.srtt == 20.0
+
+
+class TestConnIdFraming:
+    """The v2 mux header: varint conn id ahead of the nonce."""
+
+    def test_framed_send_and_receive(self):
+        client = RecordingEndpoint(is_server=False)
+        server = RecordingEndpoint(is_server=True)
+        client.set_conn_id(7)
+        server.set_conn_id(7)
+        client.send(b"keys", now=0.0)
+        raw = client.wire[0]
+        assert peek_conn_id(raw) == (7, 2)
+        server._handle_datagram(raw, "addr", now=1.0)
+        assert server.pop_received() == [b"keys"]
+        assert server.framing_drops == 0
+
+    def test_mismatched_conn_id_dropped(self):
+        client = RecordingEndpoint(is_server=False)
+        server = RecordingEndpoint(is_server=True)
+        client.set_conn_id(7)
+        server.set_conn_id(8)
+        client.send(b"keys", now=0.0)
+        server._handle_datagram(client.wire[0], "addr", now=1.0)
+        assert server.pop_received() == []
+        assert server.framing_drops == 1
+
+    def test_unframed_peer_flips_outbound_framing(self):
+        """A v1 peer's authenticated datagram switches replies to v1."""
+        server = RecordingEndpoint(is_server=True)
+        server.set_conn_id(3)
+        client = RecordingEndpoint(is_server=False)  # no conn id: v1
+        client.send(b"old-style", now=0.0)
+        server._handle_datagram(client.wire[0], "addr", now=1.0)
+        assert server.pop_received() == [b"old-style"]
+        server.send(b"reply", now=2.0)
+        assert peek_conn_id(server.wire[0]) == (None, 0)
+
+    def test_framed_peer_keeps_framing(self):
+        server = RecordingEndpoint(is_server=True)
+        server.set_conn_id(3)
+        client = RecordingEndpoint(is_server=False)
+        client.set_conn_id(3)
+        client.send(b"new-style", now=0.0)
+        server._handle_datagram(client.wire[0], "addr", now=1.0)
+        server.send(b"reply", now=2.0)
+        assert peek_conn_id(server.wire[0]) == (3, 2)
+
+    def test_unauthenticated_framing_cannot_flip_dialect(self):
+        """Only a *sealed* v1 datagram may downgrade outbound framing."""
+        server = RecordingEndpoint(is_server=True, session=Session(Base64Key.new()))
+        server.set_conn_id(3)
+        server.set_remote_addr("peer")
+        server._handle_datagram(bytes(64), "addr", now=0.0)  # garbage, v1-shaped
+        server.send(b"reply", now=1.0)
+        assert peek_conn_id(server.wire[0]) == (3, 2)

@@ -7,8 +7,12 @@ from hypothesis import strategies as st
 from repro.crypto.keys import Nonce
 from repro.errors import PacketError
 from repro.network.packet import (
+    CONN_WIRE_MAGIC,
+    MAX_CONN_ID,
     TIMESTAMP_NONE,
     Packet,
+    encode_conn_id,
+    peek_conn_id,
     timestamp16,
     timestamp_diff,
 )
@@ -66,3 +70,66 @@ class TestPacket:
     def test_roundtrip_property(self, payload, ts, tsr):
         packet = Packet(Nonce(1, 7), ts, tsr, payload)
         assert Packet.from_plaintext(packet.nonce, packet.to_plaintext()) == packet
+
+
+class TestConnIdHeader:
+    def test_roundtrip_small_ids(self):
+        for conn_id in (0, 1, 7, 127, 128, 300, 16383, 16384):
+            raw = encode_conn_id(conn_id) + bytes(8)
+            assert peek_conn_id(raw) == (conn_id, len(raw) - 8)
+
+    def test_magic_byte(self):
+        assert encode_conn_id(1)[0] == CONN_WIRE_MAGIC
+
+    def test_single_byte_ids_are_two_byte_headers(self):
+        for conn_id in range(128):
+            assert len(encode_conn_id(conn_id)) == 2
+
+    def test_max_conn_id_roundtrips(self):
+        raw = encode_conn_id(MAX_CONN_ID) + bytes(8)
+        assert peek_conn_id(raw) == (MAX_CONN_ID, 10)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(PacketError):
+            encode_conn_id(-1)
+        with pytest.raises(PacketError):
+            encode_conn_id(MAX_CONN_ID + 1)
+
+    def test_v1_datagram_peeks_as_unframed(self):
+        # A v1 datagram starts with the nonce: direction bit over seven
+        # high sequence bits, so byte 0 is 0x00 or 0x80 — never the magic.
+        assert peek_conn_id(bytes(8)) == (None, 0)
+        assert peek_conn_id(bytes([0x80]) + bytes(7)) == (None, 0)
+
+    def test_too_short_returns_none(self):
+        assert peek_conn_id(b"") is None
+        assert peek_conn_id(bytes(7)) is None
+        assert peek_conn_id(encode_conn_id(5)) is None  # header, no nonce
+
+    def test_truncated_varint_returns_none(self):
+        # Continuation bit set on every byte: the varint never terminates.
+        raw = bytes([CONN_WIRE_MAGIC]) + bytes([0x80] * 12)
+        assert peek_conn_id(raw) is None
+
+    def test_overlong_encoding_rejected(self):
+        # 0x85 0x00 re-encodes 5 with a trailing zero group; a forgery
+        # vector if two spellings of one id were both accepted.
+        raw = bytes([CONN_WIRE_MAGIC, 0x85, 0x00]) + bytes(8)
+        assert peek_conn_id(raw) is None
+
+    def test_header_without_room_for_nonce_returns_none(self):
+        raw = encode_conn_id(300) + bytes(7)
+        assert peek_conn_id(raw) is None
+
+    @given(st.integers(0, MAX_CONN_ID), st.binary(min_size=8, max_size=64))
+    def test_roundtrip_property(self, conn_id, tail):
+        header = encode_conn_id(conn_id)
+        peeked = peek_conn_id(header + tail)
+        assert peeked == (conn_id, len(header))
+
+    @given(st.binary(max_size=64))
+    def test_peek_never_raises(self, raw):
+        result = peek_conn_id(raw)
+        if result is not None:
+            conn_id, header_len = result
+            assert (conn_id is None) == (header_len == 0)

@@ -15,7 +15,10 @@ over a lossy link, then:
 * asserts the acceptance checks the ISSUE demands of a live session —
   the per-keystroke echo-latency histogram carries p50/p95/p99, the
   seal/unseal histograms counted real datagrams, and the keystroke
-  lifecycle appears in the trace.
+  lifecycle appears in the trace, and
+* stands up a session daemon with 8 concurrent clients muxed on one
+  simulated port and validates the per-session (labelled) metrics
+  snapshot (``--daemon-metrics``).
 
 CI runs this every build and uploads the files as artifacts; exit
 status is nonzero on any violated check, so the pipeline fails loudly
@@ -132,6 +135,64 @@ def flight_stage(session: InProcessSession, args) -> list[str]:
     return failures
 
 
+def daemon_stage(args) -> list[str]:
+    """Eight concurrent sessions on one port, metrics labelled apart."""
+    from repro.session.inprocess import InProcessDaemon
+
+    failures: list[str] = []
+    daemon = InProcessDaemon(
+        LinkConfig(delay_ms=20.0),
+        LinkConfig(delay_ms=20.0),
+        sessions=8,
+        width=40,
+        height=8,
+        seed=11,
+    )
+    daemon.connect(warmup_ms=1500.0)
+    for cid in daemon.conn_ids:
+        for ch in f"echo session-{cid}\n".encode():
+            daemon.client(cid).type_bytes(bytes([ch]))
+        daemon.run_for(40.0)
+    daemon.run_for(4000.0)
+
+    doc = daemon.metrics_snapshot()
+    validate_snapshot(doc)
+    counters, gauges, hists = doc["counters"], doc["gauges"], doc["histograms"]
+
+    if counters.get("daemon.no_route", 0) or counters.get("daemon.bad_packets", 0):
+        failures.append("daemon routed garbage on a clean simulation")
+    if counters.get("daemon.datagrams_routed", 0) < 8:
+        failures.append("daemon.datagrams_routed counted almost nothing")
+    if gauges.get("daemon.sessions_active") != 8.0:
+        failures.append("daemon.sessions_active gauge is not 8")
+
+    # Every session must show up under its own label, on both sides.
+    for cid in daemon.conn_ids:
+        if hists.get(f"keystroke.c{cid}.echo_ms", {}).get("count", 0) == 0:
+            failures.append(f"keystroke.c{cid}.echo_ms is missing or empty")
+        for name in (f"server.s{cid}.network.srtt_ms",
+                     f"client.c{cid}.network.srtt_ms"):
+            if gauges.get(name) is None or not gauges[name] > 0:
+                failures.append(f"{name} gauge is missing or non-positive")
+        if hists.get(f"server.s{cid}.crypto.unseal_us", {}).get("count", 0) == 0:
+            failures.append(f"server.s{cid}.crypto.unseal_us counted nothing")
+        screen = daemon.record(cid).core.terminal.fb.screen_text()
+        if f"session-{cid}" not in screen:
+            failures.append(f"session {cid} never converged on its marker")
+
+    with open(args.daemon_metrics, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    with open(args.daemon_metrics, encoding="utf-8") as fh:
+        validate_snapshot(json.load(fh))
+    print(
+        f"  daemon: 8 sessions on one port, "
+        f"{int(counters.get('daemon.datagrams_routed', 0))} datagrams routed "
+        f"-> {args.daemon_metrics}"
+    )
+    return failures
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--trace", default="trace.json", metavar="PATH")
@@ -144,6 +205,9 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "--flight-report", default="flight-report.json", metavar="PATH"
+    )
+    parser.add_argument(
+        "--daemon-metrics", default="daemon-metrics.json", metavar="PATH"
     )
     args = parser.parse_args(argv)
 
@@ -160,6 +224,7 @@ def main(argv: list[str] | None = None) -> int:
 
     failures = check(session, doc)
     failures.extend(flight_stage(session, args))
+    failures.extend(daemon_stage(args))
     ks = doc["histograms"]["keystroke.echo_ms"]
     print(
         f"observability smoke: {events} trace events -> {args.trace}, "
