@@ -132,3 +132,186 @@ class BatchAES:
         for r in range(1, _ROUNDS):
             s = m14[s[:, d0]] ^ m11[s[:, d1]] ^ m13[s[:, d2]] ^ m9[s[:, d3]] ^ drkb[r]
         return isb8[s[:, isr]] ^ drkb[_ROUNDS]
+
+
+# ----------------------------------------------------------------------
+# Grouped multi-key kernels (cross-session wire batching)
+#
+# The wire batcher drains every session's pending datagrams per reactor
+# tick — each session holds a *different* key. Broadcasting one key over
+# the batch (as BatchAES does) cannot serve that, so these kernels carry
+# an (N, 11, 16) per-row round-key array instead of an (11, 16) one:
+# rows belonging to session i use session i's schedule, and one kernel
+# pass covers the whole tick. Inputs/outputs are 128-bit ints to match
+# the OCB integer path exactly.
+# ----------------------------------------------------------------------
+
+
+def _gather_groups(groups):
+    """Flatten ``[(BatchAES, [int, ...]), ...]`` into kernel arrays.
+
+    Returns ``(state, row_keys_selector, counts)`` where ``state`` is the
+    (total, 16) uint8 input and ``row_keys_selector(round_keys_attr)``
+    materializes the (total, 11, 16) per-row round keys.
+    """
+    counts = [len(xs) for _, xs in groups]
+    total = sum(counts)
+    raw = bytearray(total * 16)
+    pos = 0
+    for _, xs in groups:
+        for x in xs:
+            raw[pos : pos + 16] = x.to_bytes(16, "big")
+            pos += 16
+    state = _np.frombuffer(raw, dtype=_np.uint8).reshape(total, 16)
+    return state, counts, total
+
+
+def _scatter_ints(out, counts):
+    """Split a (total, 16) uint8 result back into per-group int lists."""
+    flat = out.tobytes()
+    results: list[list[int]] = []
+    from_bytes = int.from_bytes
+    pos = 0
+    for k in counts:
+        end = pos + 16 * k
+        results.append(
+            [from_bytes(flat[i : i + 16], "big") for i in range(pos, end, 16)]
+        )
+        pos = end
+    return results
+
+
+def encrypt_ints_grouped(groups) -> list[list[int]]:
+    """AES-encrypt many keys' block lists in one vectorised pass.
+
+    ``groups`` is a sequence of ``(BatchAES, [int, ...])``; the result is
+    a list of int lists aligned with it. Row ``n`` equals
+    ``encrypt_blocks_int`` under that group's key (parity-tested).
+    """
+    state, counts, total = _gather_groups(groups)
+    if total == 0:
+        return [[] for _ in groups]
+    rkb = _np.empty((total, _ROUNDS + 1, 16), dtype=_np.uint8)
+    pos = 0
+    for (batch_aes, _), k in zip(groups, counts):
+        if k:
+            rkb[pos : pos + k] = batch_aes._rkb
+            pos += k
+    sb8, _isb8, xt, _m9, _m11, _m13, _m14, sr, _isr, r1, r2, r3 = _tables()[:12]
+    s = state ^ rkb[:, 0]
+    for r in range(1, _ROUNDS):
+        sub = sb8[s[:, sr]]
+        b = xt[sub]  # 2*a
+        t = sub ^ b  # 3*a
+        s = b ^ t[:, r1] ^ sub[:, r2] ^ sub[:, r3] ^ rkb[:, r]
+    return _scatter_ints(sb8[s[:, sr]] ^ rkb[:, _ROUNDS], counts)
+
+
+def decrypt_ints_grouped(groups) -> list[list[int]]:
+    """Inverse of :func:`encrypt_ints_grouped` (per-row keys likewise)."""
+    state, counts, total = _gather_groups(groups)
+    if total == 0:
+        return [[] for _ in groups]
+    drkb = _np.empty((total, _ROUNDS + 1, 16), dtype=_np.uint8)
+    pos = 0
+    for (batch_aes, _), k in zip(groups, counts):
+        if k:
+            drkb[pos : pos + k] = batch_aes._drkb
+            pos += k
+    tables = _tables()
+    isb8 = tables[1]
+    m9, m11, m13, m14 = tables[3:7]
+    isr = tables[8]
+    d0, d1, d2, d3 = tables[12:16]
+    s = state ^ drkb[:, 0]
+    for r in range(1, _ROUNDS):
+        s = (
+            m14[s[:, d0]] ^ m11[s[:, d1]] ^ m13[s[:, d2]] ^ m9[s[:, d3]]
+            ^ drkb[:, r]
+        )
+    return _scatter_ints(isb8[s[:, isr]] ^ drkb[:, _ROUNDS], counts)
+
+
+# ----------------------------------------------------------------------
+# Whole-datagram batching over the OCB phase API
+# ----------------------------------------------------------------------
+
+#: Below this many datagrams a batch cannot beat per-datagram sealing
+#: (each cipher's own encrypt/decrypt already picks its best kernel).
+MIN_DATAGRAMS = 2
+
+
+def seal_datagrams(items) -> list[bytes]:
+    """Seal many ``(OCBCipher, nonce, plaintext)`` datagrams at once.
+
+    One grouped kernel call covers every datagram's body+pad+tag rows
+    across all keys. Returns ``ciphertext || tag`` per item, in order,
+    byte-identical to ``cipher.encrypt(nonce, plaintext)``. Falls back
+    to per-datagram sealing without numpy or for tiny batches.
+    """
+    if _np is None or len(items) < MIN_DATAGRAMS:
+        return [c.encrypt(n, bytes(p)) for c, n, p in items]
+    preps = [c.seal_prepare(n, p) for c, n, p in items]
+    encs = encrypt_ints_grouped(
+        [
+            (c._schedule.batch, xs)
+            for (c, _, _), (xs, _) in zip(items, preps)
+        ]
+    )
+    return [
+        c.seal_finish(ctx, enc)
+        for (c, _, _), (_, ctx), enc in zip(items, preps, encs)
+    ]
+
+
+def unseal_datagrams(items) -> list:
+    """Unseal many ``(OCBCipher, nonce, ciphertext)`` datagrams at once.
+
+    Authentication failures are returned *as values* (an
+    :class:`~repro.errors.AuthenticationError` in that slot) so one
+    forged datagram cannot abort its batchmates. Three grouped kernel
+    calls per batch: D(bodies), then E(pads), then E(tags) — the tag
+    check depends on the plaintext checksum, which depends on the
+    decrypted body and pad, so it cannot ride in the first pass.
+    """
+    from repro.errors import AuthenticationError
+
+    if _np is None or len(items) < MIN_DATAGRAMS:
+        out = []
+        for c, n, ct in items:
+            try:
+                out.append(c.decrypt(n, ct))
+            except AuthenticationError as exc:
+                out.append(exc)
+        return out
+    preps: list = []
+    for c, n, ct in items:
+        try:
+            preps.append(c.unseal_prepare(n, ct))
+        except AuthenticationError as exc:
+            preps.append(exc)
+    live = [i for i, p in enumerate(preps) if not isinstance(p, Exception)]
+    decs = decrypt_ints_grouped(
+        [(items[i][0]._schedule.batch, preps[i][0]) for i in live]
+    )
+    pad_idx = [i for i in live if preps[i][1] is not None]
+    pads = encrypt_ints_grouped(
+        [(items[i][0]._schedule.batch, [preps[i][1]]) for i in pad_idx]
+    )
+    pad_of = {i: enc[0] for i, enc in zip(pad_idx, pads)}
+    parts_of: dict[int, list[bytes]] = {}
+    tag_inputs = []
+    for i, dec in zip(live, decs):
+        cipher = items[i][0]
+        tag_x, parts = cipher.unseal_mid(preps[i][2], dec, pad_of.get(i))
+        parts_of[i] = parts
+        tag_inputs.append((cipher._schedule.batch, [tag_x]))
+    tag_encs = encrypt_ints_grouped(tag_inputs)
+    results = list(preps)  # prepare-time failures stay in place
+    for i, enc in zip(live, tag_encs):
+        cipher = items[i][0]
+        try:
+            results[i] = cipher.unseal_finish(preps[i][2], enc[0], parts_of[i])
+        except AuthenticationError as exc:
+            results[i] = exc
+    return results

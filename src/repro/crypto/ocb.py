@@ -260,21 +260,54 @@ class OCBCipher:
         self, nonce: bytes, plaintext: bytes, associated_data: bytes = b""
     ) -> bytes:
         """Return ciphertext || 16-byte tag."""
+        sched = self._schedule
+        if (
+            sched.batch is not None
+            and len(plaintext) >= _BATCH_MIN_BLOCKS_SEAL * BLOCK_SIZE
+        ):
+            offset0 = self._initial_offset(nonce)
+            data = memoryview(plaintext)
+            m, tail_len = divmod(len(data), BLOCK_SIZE)
+            cum = sched.grow(m)
+            tail = bytes(data[m * BLOCK_SIZE :]) if tail_len else b""
+            return self._encrypt_batch(
+                offset0, offset0 ^ cum[m], data, m, tail, associated_data
+            )
+        xs, ctx = self.seal_prepare(nonce, plaintext)
+        return self.seal_finish(
+            ctx, self._aes.encrypt_blocks_int(xs), associated_data
+        )
+
+    # ------------------------------------------------------------------
+    # Split seal/unseal phases (cross-datagram batching)
+    #
+    # The wire batcher seals/unseals many datagrams — under *different*
+    # keys — per numpy kernel call. These phases expose the integer path
+    # with its single kernel invocation factored out, so a caller can
+    # collect every datagram's kernel inputs, run them through the
+    # grouped multi-key kernel (:func:`repro.crypto.batch
+    # .encrypt_ints_grouped`), and hand each result back. Output is
+    # byte-identical to :meth:`encrypt`/:meth:`decrypt` by construction:
+    # ``encrypt`` itself runs through seal_prepare/seal_finish.
+    # ------------------------------------------------------------------
+
+    def seal_prepare(self, nonce: bytes, plaintext) -> tuple[list[int], tuple]:
+        """First half of sealing: returns ``(kernel_inputs, ctx)``.
+
+        ``kernel_inputs`` are 128-bit ints to AES-*encrypt* (whitened body
+        blocks, optional pad input, tag input). Accepts ``bytes`` or a
+        ``memoryview``; everything the later phase needs is materialized
+        here, so the caller's buffer may be reused immediately.
+        """
         offset0 = self._initial_offset(nonce)
         data = memoryview(plaintext)
         m, tail_len = divmod(len(data), BLOCK_SIZE)
-        sched = self._schedule
-        cum = sched.grow(m)
+        cum = self._schedule.grow(m)
         offset = offset0 ^ cum[m]
         tail = bytes(data[m * BLOCK_SIZE :]) if tail_len else b""
-        if sched.batch is not None and m >= _BATCH_MIN_BLOCKS_SEAL:
-            return self._encrypt_batch(
-                offset0, offset, data, m, tail, associated_data
-            )
-        # Integer-domain path: whiten, cipher body, pad, and tag in one
-        # kernel call (pad and tag inputs are known before encryption).
         # One fused pass builds the whitened blocks, the offsets, and the
-        # plaintext checksum together.
+        # plaintext checksum together (pad and tag inputs are known before
+        # encryption, so they ride in the same kernel call).
         from_bytes = int.from_bytes
         xs: list[int] = []
         offs: list[int] = []
@@ -290,11 +323,17 @@ class OCBCipher:
         if tail:
             offset ^= self._l_star
             xs.append(offset)
-            checksum ^= int.from_bytes(
+            checksum ^= from_bytes(
                 tail + b"\x80" + bytes(BLOCK_SIZE - tail_len - 1), "big"
             )
         xs.append(checksum ^ offset ^ self._l_dollar)
-        enc = self._aes.encrypt_blocks_int(xs)
+        return xs, (offs, m, tail)
+
+    def seal_finish(
+        self, ctx: tuple, enc: list[int], associated_data: bytes = b""
+    ) -> bytes:
+        """Assemble ciphertext || tag from the encrypted kernel outputs."""
+        offs, m, tail = ctx
         parts = [(c ^ o).to_bytes(16, "big") for c, o in zip(enc, offs)]
         if tail:
             pad = enc[m].to_bytes(16, "big")
@@ -303,6 +342,84 @@ class OCBCipher:
         if associated_data:
             tag ^= self._hash_ad(associated_data)
         parts.append(tag.to_bytes(16, "big"))
+        return b"".join(parts)
+
+    def unseal_prepare(self, nonce: bytes, ciphertext):
+        """First unseal phase: returns ``(dec_inputs, pad_input, ctx)``.
+
+        ``dec_inputs`` are whitened body blocks to AES-*decrypt*;
+        ``pad_input`` is one int to AES-*encrypt* (or None when the
+        ciphertext has no partial tail block). Unlike sealing, the tag
+        check needs the plaintext checksum, so it is a dependent later
+        phase (:meth:`unseal_mid` → :meth:`unseal_finish`). Raises
+        :class:`AuthenticationError` on an undersized ciphertext. Accepts
+        ``bytes`` or a ``memoryview``; the buffer may be reused after
+        this returns.
+        """
+        if len(ciphertext) < TAG_LEN:
+            raise AuthenticationError("ciphertext shorter than the tag")
+        data = memoryview(ciphertext)
+        n = len(data) - TAG_LEN
+        offset0 = self._initial_offset(nonce)
+        m, tail_len = divmod(n, BLOCK_SIZE)
+        cum = self._schedule.grow(m)
+        from_bytes = int.from_bytes
+        xs: list[int] = []
+        offs: list[int] = []
+        pos = 0
+        for i in range(1, m + 1):
+            off = offset0 ^ cum[i]
+            xs.append(from_bytes(data[pos : pos + 16], "big") ^ off)
+            offs.append(off)
+            pos += 16
+        offset = offset0 ^ cum[m]
+        tail = b""
+        pad_input: int | None = None
+        if tail_len:
+            tail = bytes(data[m * BLOCK_SIZE : n])
+            offset ^= self._l_star
+            pad_input = offset
+        return xs, pad_input, (offs, offset, tail, tail_len, bytes(data[n:]))
+
+    def unseal_mid(
+        self, ctx: tuple, dec: list[int], pad: int | None
+    ) -> tuple[int, list[bytes]]:
+        """Combine decrypted body and pad; returns ``(tag_input, parts)``.
+
+        ``tag_input`` is one more int to AES-*encrypt*; ``parts`` are the
+        candidate plaintext chunks (released only by a verified
+        :meth:`unseal_finish`).
+        """
+        offs, offset, tail, tail_len, _tag = ctx
+        parts: list[bytes] = []
+        checksum = 0
+        append = parts.append
+        for d, off in zip(dec, offs):
+            plain = d ^ off
+            checksum ^= plain
+            append(plain.to_bytes(16, "big"))
+        if tail_len:
+            pad_bytes = pad.to_bytes(16, "big")
+            plain_tail = bytes(c ^ k for c, k in zip(tail, pad_bytes))
+            append(plain_tail)
+            checksum ^= int.from_bytes(
+                plain_tail + b"\x80" + bytes(BLOCK_SIZE - tail_len - 1), "big"
+            )
+        return checksum ^ offset ^ self._l_dollar, parts
+
+    def unseal_finish(
+        self,
+        ctx: tuple,
+        tag_enc: int,
+        parts: list[bytes],
+        associated_data: bytes = b"",
+    ) -> bytes:
+        """Verify the tag and release the plaintext."""
+        expected = tag_enc
+        if associated_data:
+            expected ^= self._hash_ad(associated_data)
+        if not hmac.compare_digest(expected.to_bytes(16, "big"), ctx[4]):
+            raise AuthenticationError("OCB tag verification failed")
         return b"".join(parts)
 
     def decrypt(

@@ -35,6 +35,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from time import perf_counter
 
+from repro.crypto import batch as _batch
 from repro.crypto.keys import OCB_NONCE_PREFIX, Base64Key, Nonce
 from repro.crypto.ocb import TAG_LEN, OCBCipher
 from repro.errors import AuthenticationError, CryptoError, ReplayError
@@ -267,8 +268,11 @@ class NullSession:
         if len(data) < _NONCE_WIRE_LEN + TAG_LEN:
             raise CryptoError(f"datagram too short to unseal: {len(data)} bytes")
         t0 = perf_counter()
-        nonce = Nonce.from_wire(data[:_NONCE_WIRE_LEN])
-        text = data[_NONCE_WIRE_LEN:-TAG_LEN]
+        # ``bytes()`` both normalizes a memoryview input (the zero-copy
+        # receive path hands views into reusable buffers) and detaches
+        # the retained Message payload from the caller's buffer.
+        nonce = Nonce.from_wire(bytes(data[:_NONCE_WIRE_LEN]))
+        text = bytes(data[_NONCE_WIRE_LEN:-TAG_LEN])
         stats = self.stats
         stats.unseal_us.record((perf_counter() - t0) * 1e6)
         if not self._replay[nonce.direction].note(nonce.seq):
@@ -280,3 +284,123 @@ class NullSession:
         stats.datagrams_unsealed += 1
         stats.bytes_unsealed += len(text)
         return Message(nonce=nonce, text=text)
+
+
+# ----------------------------------------------------------------------
+# Cross-session batching: many datagrams, many keys, one kernel pass
+# ----------------------------------------------------------------------
+
+
+def seal_many(pairs) -> list[bytes]:
+    """Seal ``[(session, Message), ...]`` — batched across sessions.
+
+    Byte-identical to calling ``session.encrypt(message)`` per pair (the
+    batched cipher path shares its assembly code with the scalar one),
+    with identical counter/stat movement; ``seal_us`` records each
+    datagram's amortized share of the batch. NullSessions and too-small
+    batches fall back to per-pair sealing.
+    """
+    out: list = [None] * len(pairs)
+    batched: list[int] = []
+    for i, (session, message) in enumerate(pairs):
+        if type(session) is Session:
+            batched.append(i)
+        else:
+            out[i] = session.encrypt(message)
+    if len(batched) < _batch.MIN_DATAGRAMS or not _batch.available():
+        for i in batched:
+            session, message = pairs[i]
+            out[i] = session.encrypt(message)
+        return out
+    t0 = perf_counter()
+    items = []
+    for i in batched:
+        session, message = pairs[i]
+        text = message.text
+        if len(text) > MAX_PAYLOAD_LEN:
+            raise CryptoError(
+                f"payload of {len(text)} bytes exceeds "
+                f"{MAX_PAYLOAD_LEN}-byte bound"
+            )
+        items.append((session._cipher, message.nonce.ocb(), text))
+    sealed = _batch.seal_datagrams(items)
+    share_us = (perf_counter() - t0) * 1e6 / len(batched)
+    for i, raw in zip(batched, sealed):
+        session, message = pairs[i]
+        stats = session.stats
+        stats.seal_us.record(share_us)
+        stats.datagrams_sealed += 1
+        stats.bytes_sealed += len(message.text)
+        out[i] = message.nonce.wire() + raw
+    return out
+
+
+def unseal_many(pairs) -> list:
+    """Unseal ``[(session, raw), ...]`` — batched across sessions.
+
+    ``raw`` may be ``bytes`` or a ``memoryview`` (reusable receive
+    buffers: everything retained is materialized before return). Each
+    slot holds the :class:`Message`, or the exception ``decrypt`` would
+    have raised (:class:`CryptoError` subclass) *as a value*, so one
+    forged datagram cannot abort its batchmates. Stats and replay
+    windows move exactly as under per-datagram ``decrypt``; ``unseal_us``
+    records amortized per-datagram shares.
+    """
+    out: list = [None] * len(pairs)
+    batched: list[int] = []
+    for i, (session, data) in enumerate(pairs):
+        if (
+            type(session) is Session
+            and len(data) >= _NONCE_WIRE_LEN + TAG_LEN
+        ):
+            batched.append(i)
+        else:
+            try:
+                out[i] = session.decrypt(
+                    data if isinstance(data, bytes) else bytes(data)
+                )
+            except CryptoError as exc:
+                out[i] = exc
+    if len(batched) < _batch.MIN_DATAGRAMS or not _batch.available():
+        for i in batched:
+            session, data = pairs[i]
+            try:
+                out[i] = session.decrypt(
+                    data if isinstance(data, bytes) else bytes(data)
+                )
+            except CryptoError as exc:
+                out[i] = exc
+        return out
+    t0 = perf_counter()
+    items = []
+    wires = []
+    for i in batched:
+        session, data = pairs[i]
+        view = memoryview(data)
+        wire = bytes(view[:_NONCE_WIRE_LEN])
+        wires.append(wire)
+        items.append(
+            (session._cipher, OCB_NONCE_PREFIX + wire, view[_NONCE_WIRE_LEN:])
+        )
+    texts = _batch.unseal_datagrams(items)
+    share_us = (perf_counter() - t0) * 1e6 / len(batched)
+    for i, wire, text in zip(batched, wires, texts):
+        session = pairs[i][0]
+        stats = session.stats
+        if isinstance(text, AuthenticationError):
+            stats.auth_failures += 1
+            out[i] = text
+            continue
+        stats.unseal_us.record(share_us)
+        nonce = Nonce.from_wire(wire)
+        if not session._replay[nonce.direction].note(nonce.seq):
+            stats.replay_drops += 1
+            out[i] = ReplayError(
+                f"replayed sequence number {nonce.seq} "
+                f"(direction {nonce.direction})"
+            )
+            continue
+        stats.datagrams_unsealed += 1
+        stats.bytes_unsealed += len(text)
+        out[i] = Message(nonce=nonce, text=text)
+    return out

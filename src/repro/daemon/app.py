@@ -22,6 +22,7 @@ import sys
 from repro.app.pty_host import PtyHost
 from repro.crypto.keys import Base64Key
 from repro.daemon.manager import SessionManager, SessionRecord
+from repro.network.batch import RxBatcher, WireBatcher
 from repro.network.connection import MuxUdpConnection
 from repro.obs.flight import FlightRecorder
 from repro.runtime.reactor import RealReactor
@@ -40,6 +41,7 @@ class DaemonApp:
         height: int = 24,
         idle_timeout_ms: float | None = None,
         flight: bool = False,
+        wire_batch: bool = True,
     ) -> None:
         self.reactor = RealReactor()
         self.flight: FlightRecorder | None = None
@@ -58,6 +60,20 @@ class DaemonApp:
         self._argv = argv
         self._width = width
         self._height = height
+        # Wire batching: one crypto pass + one sendmmsg burst per select
+        # iteration across every session, flushed at the end of each
+        # ``run_once`` (rx first so replies ride the same tick's batch).
+        self.tx_batcher = None
+        self.rx_batcher = None
+        if wire_batch:
+            self.tx_batcher = WireBatcher(
+                transmit_many=self.connection.transmit_many,
+                registry=self.reactor.registry,
+            )
+            self.rx_batcher = RxBatcher(registry=self.reactor.registry)
+            self.connection.rx_batcher = self.rx_batcher
+            self.reactor.add_flush_hook(self.rx_batcher.flush)
+            self.reactor.add_flush_hook(self.tx_batcher.flush)
         self.session_flights: dict[int, FlightRecorder] = {}
         flight_factory = None
         if flight:
@@ -91,12 +107,16 @@ class DaemonApp:
 
     def spawn(self, key: Base64Key | None = None) -> SessionRecord:
         """Bring up one more session on the shared port."""
-        return self.manager.spawn(
+        record = self.manager.spawn(
             key=key,
             width=self._width,
             height=self._height,
             argv=self._argv,
         )
+        if self.tx_batcher is not None:
+            record.endpoint.batcher = self.tx_batcher
+            record.endpoint.rx_stage = self.rx_batcher.stage
+        return record
 
     def connect_lines(self) -> list[str]:
         """One bootstrap line per live session."""
@@ -133,6 +153,11 @@ class DaemonApp:
 
     def shutdown(self) -> None:
         self.running = False
+        if self.rx_batcher is not None:
+            # Drain anything still staged so the last tick's datagrams
+            # leave before the socket closes.
+            self.rx_batcher.flush()
+            self.tx_batcher.flush()
         self.reactor.remove_reader(self.connection.fileno())
         self.manager.close_all()
         self.connection.close()

@@ -20,7 +20,9 @@ from repro.clock import Clock, RealClock
 from repro.crypto.session import NullSession, Session
 from repro.daemon.mux import SessionMux, VirtualEndpoint
 from repro.errors import NetworkError
+from repro.network.batch import SyscallCounter
 from repro.network.interface import DatagramEndpoint
+from repro.network.sysbatch import BatchReceiver, BatchSender
 from repro.obs.flight import DIR_S2C, FlightRecorder, peek_seq
 from repro.obs.registry import MetricsRegistry
 
@@ -71,6 +73,11 @@ class UdpConnection(DatagramEndpoint):
             _bind_server(self._sock, bind_host, port)
         else:
             self._sock.bind((bind_host, 0))
+        #: Kernel-crossing tally (benchmarks read syscalls-per-packet).
+        self.syscalls = SyscallCounter()
+        # Reused intake buffer: the old per-datagram ``recvfrom(65536)``
+        # allocated (and mostly wasted) 64 KiB per call on the hot path.
+        self._rbuf = bytearray(65536)
 
     def rebind(self, bind_host: str | None = None) -> int:
         """Move a client to a fresh source address; returns the new fd.
@@ -106,6 +113,7 @@ class UdpConnection(DatagramEndpoint):
     def _transmit(self, raw: bytes, now: float) -> None:
         try:
             self._sock.sendto(raw, self._remote_addr)
+            self.syscalls.note("sendto")
         except OSError:
             # Transient send failures (e.g. ENETUNREACH while roaming) are
             # indistinguishable from packet loss; SSP recovers either way.
@@ -122,14 +130,18 @@ class UdpConnection(DatagramEndpoint):
         """Drain the socket; returns the number of datagrams processed."""
         count = 0
         now = self._clock.now()
+        buf = self._rbuf
         while True:
             try:
-                raw, addr = self._sock.recvfrom(65536)
+                length, addr = self._sock.recvfrom_into(buf)
             except BlockingIOError:
                 break
             except OSError:
                 break
-            self._handle_datagram(raw, addr, now)
+            self.syscalls.note("recvfrom")
+            # Exact-size copy: the intake buffer is reused next iteration
+            # and downstream retains payload slices.
+            self._handle_datagram(bytes(buf[:length]), addr, now)
             count += 1
         return count
 
@@ -167,6 +179,15 @@ class MuxUdpConnection:
             registry=registry,
             flight=flight,
         )
+        #: Kernel-crossing tally (benchmarks read syscalls-per-packet).
+        self.syscalls = SyscallCounter()
+        self._receiver = BatchReceiver(self._sock, counter=self.syscalls)
+        self._sender = BatchSender(self._sock, counter=self.syscalls)
+        #: Optional :class:`~repro.network.batch.RxBatcher` staging the
+        #: sessions' inbound datagrams. ``receive_ready`` flushes it
+        #: between intake bursts because the receiver's slot views are
+        #: only valid until its next ``recv_many`` call.
+        self.rx_batcher = None
 
     # ------------------------------------------------------------------
 
@@ -190,11 +211,27 @@ class MuxUdpConnection:
         """Attach one session to this port (id allocated when None)."""
         return self.mux.open_endpoint(session, conn_id=conn_id, mtu=mtu)
 
+    def transmit_many(self, sends: list) -> list[int]:
+        """Wire-batcher flush target: one ``sendmmsg`` burst per tick.
+
+        ``sends`` is the batcher's ``(header, raw, addr, endpoint, now)``
+        list; returns the indexes that failed (flight-recorded by the
+        batcher as ``send_err`` fates).
+        """
+        live = [i for i, s in enumerate(sends) if s[2] is not None]
+        if len(live) == len(sends):
+            return self._sender.send_many(sends)
+        # Address-less entries (peer never heard from) are silent drops,
+        # exactly like the unbatched ``_sendto`` guard.
+        failed = self._sender.send_many([sends[i] for i in live])
+        return [live[i] for i in failed]
+
     def _sendto(self, raw: bytes, addr: Any, now: float) -> None:
         if addr is None:
             return
         try:
             self._sock.sendto(raw, addr)
+            self.syscalls.note("sendto")
         except OSError:
             # Same policy as UdpConnection._transmit: a failed send is
             # wire loss with a locally recorded fate.
@@ -205,18 +242,27 @@ class MuxUdpConnection:
                 )
 
     def receive_ready(self) -> int:
-        """Drain the socket, routing each datagram to its session."""
+        """Drain the socket, routing each datagram to its session.
+
+        Datagrams arrive in ``recvmmsg`` bursts as views into the
+        receiver's reusable slots; with an :attr:`rx_batcher` attached
+        the sessions stage those views and the batcher is flushed before
+        the next burst can overwrite the slots (the flush materializes
+        everything it keeps).
+        """
         count = 0
         now = self._clock.now()
+        dispatch = self.mux.dispatch
+        rx = self.rx_batcher
         while True:
-            try:
-                raw, addr = self._sock.recvfrom(65536)
-            except BlockingIOError:
+            burst = self._receiver.recv_many()
+            if not burst:
                 break
-            except OSError:
-                break
-            self.mux.dispatch(raw, addr, now)
-            count += 1
+            for body, addr in burst:
+                dispatch(body, addr, now)
+            count += len(burst)
+            if rx is not None:
+                rx.flush()
         return count
 
     def close(self) -> None:

@@ -21,6 +21,7 @@ from abc import ABC, abstractmethod
 from typing import Any, Callable
 
 from repro.crypto.keys import DIRECTION_TO_CLIENT, DIRECTION_TO_SERVER, Nonce
+from repro.crypto.ocb import TAG_LEN
 from repro.crypto.session import Message, NullSession, Session
 from repro.errors import CryptoError, NetworkError, PacketError, ReplayError
 from repro.network.packet import (
@@ -97,9 +98,21 @@ class DatagramEndpoint(ABC):
         #: Called after each authentic datagram is queued (event loops use
         #: this to tick the transport immediately instead of polling).
         self.on_datagram: Callable[[float], None] | None = None
+        #: Batch-aware variant: ``on_datagram_count(now, n)`` replaces n
+        #: consecutive ``on_datagram`` calls when the receive path
+        #: coalesces a burst (set by the pump; optional).
+        self.on_datagram_count: Callable[[float, int], None] | None = None
         #: Optional wire-level flight recorder; when attached, every
         #: datagram's send, receive, and terminal-fate events are logged.
         self.flight: FlightRecorder | None = None
+        #: Per-tick send queue (:class:`~repro.network.batch.WireBatcher`).
+        #: When attached, :meth:`send` enqueues instead of sealing inline;
+        #: the owner flushes once per tick.
+        self.batcher = None
+        #: Inbound staging hook (:class:`~repro.network.batch.RxBatcher`
+        #: ``.stage``). When set, unframed datagrams are staged for a
+        #: batched unseal instead of being decrypted inline.
+        self.rx_stage: Callable[..., None] | None = None
 
     # ------------------------------------------------------------------
     # Subclass surface
@@ -108,6 +121,16 @@ class DatagramEndpoint(ABC):
     @abstractmethod
     def _transmit(self, raw: bytes, now: float) -> None:
         """Put raw sealed bytes on the wire toward ``self._remote_addr``."""
+
+    def transmit_to(self, raw: bytes, addr: Any, now: float) -> None:
+        """Transmit toward an explicit address (wire-batcher flush path).
+
+        The batcher captures ``self._remote_addr`` at enqueue time so a
+        roam landing mid-tick cannot retarget datagrams already queued.
+        Subclasses with addressable transports override this; the default
+        falls back to :meth:`_transmit` (single-peer endpoints).
+        """
+        self._transmit(raw, now)
 
     # ------------------------------------------------------------------
     # Mux framing
@@ -173,6 +196,28 @@ class DatagramEndpoint(ABC):
         if self._remote_addr is None:
             raise NetworkError("no remote address known yet")
         packet = self._new_packet(payload, now)
+        batcher = self.batcher
+        if batcher is not None:
+            # Deferred-seal path: nonce/seq/timestamps are fixed here (so
+            # ordering and wire bytes match the inline path exactly); the
+            # seal and the transmit happen at the tick's batch flush. The
+            # sealed length is knowable now, so counters move immediately.
+            header = (
+                self._conn_header if not self._peer_legacy else None
+            )
+            text = packet.to_plaintext()
+            wire_len = (
+                (len(header) if header is not None else 0)
+                + 8 + len(text) + TAG_LEN
+            )
+            self.datagrams_sent += 1
+            self.bytes_sent += wire_len
+            batcher.enqueue((
+                self, packet.nonce, text, header, self._remote_addr, now,
+                meta, packet.seq, packet.timestamp, packet.timestamp_reply,
+                wire_len,
+            ))
+            return
         raw = self._session.encrypt(
             Message(nonce=packet.nonce, text=packet.to_plaintext())
         )
@@ -220,33 +265,61 @@ class DatagramEndpoint(ABC):
     def _handle_datagram(self, raw: bytes, addr: Any, now: float) -> None:
         """Unseal one inbound datagram; drops forgeries (recorded, never
         trusted)."""
-        # The global observability switch gates the hooks here rather
-        # than inside note_*, so a disabled recorder also skips the
-        # fragment peek and estimator reads that only feed the log.
-        flight = self.flight if _obs._enabled else None
         arrived_framed = False
         if self._conn_id is not None:
             raw, arrived_framed = self._unframe(raw, now)
             if raw is None:
                 return
-        try:
-            message = self._session.decrypt(raw)
-        except ReplayError:
-            # Authentic but sequence-reusing: a duplicated or replayed
-            # datagram. Terminal fate, worth a flight-log line.
-            if flight is not None:
-                flight.note_drop(
-                    now, self._dir_in, "replay",
-                    seq=peek_seq(raw), wire_len=len(raw),
-                )
+        stage = self.rx_stage
+        if stage is not None:
+            # Batched-unseal path: park the (possibly zero-copy) body for
+            # the tick's flush; :meth:`handle_unsealed` finishes the job.
+            stage(self, raw, arrived_framed, addr, now)
             return
-        except CryptoError:
-            if flight is not None:
+        try:
+            message: Message | CryptoError = self._session.decrypt(raw)
+        except CryptoError as exc:
+            message = exc
+        self.handle_unsealed(message, raw, addr, now, arrived_framed)
+
+    def handle_unsealed(
+        self,
+        message: "Message | CryptoError",
+        raw,
+        addr: Any,
+        now: float,
+        arrived_framed: bool,
+        notify: bool = True,
+    ) -> bool:
+        """Post-unseal half of datagram handling (inline and batched).
+
+        ``message`` is the unsealed :class:`Message` or the
+        :class:`CryptoError` the unseal raised (batched unsealing returns
+        failures as values). ``raw`` is the unframed wire body, used only
+        for lengths and drop forensics — nothing from it is retained.
+        Returns True when a payload was accepted; with ``notify=False``
+        the ``on_datagram`` hook is skipped so a batching caller can
+        coalesce (:meth:`notify_datagrams`).
+        """
+        # The global observability switch gates the hooks here rather
+        # than inside note_*, so a disabled recorder also skips the
+        # fragment peek and estimator reads that only feed the log.
+        flight = self.flight if _obs._enabled else None
+        if isinstance(message, CryptoError):
+            if isinstance(message, ReplayError):
+                # Authentic but sequence-reusing: a duplicated or replayed
+                # datagram. Terminal fate, worth a flight-log line.
+                if flight is not None:
+                    flight.note_drop(
+                        now, self._dir_in, "replay",
+                        seq=peek_seq(raw), wire_len=len(raw),
+                    )
+            elif flight is not None:
                 flight.note_drop(
                     now, self._dir_in, "auth",
                     seq=peek_seq(raw), wire_len=len(raw),
                 )
-            return  # forged or corrupted; never trust it
+            return False  # forged or corrupted; never trust it
         expected_direction = (
             DIRECTION_TO_SERVER if self._is_server else DIRECTION_TO_CLIENT
         )
@@ -256,7 +329,7 @@ class DatagramEndpoint(ABC):
                     now, self._dir_in, "reflect",
                     seq=message.nonce.seq, wire_len=len(raw),
                 )
-            return  # reflected packet
+            return False  # reflected packet
         if self._conn_id is not None:
             # Only an *authenticated* datagram may decide the peer's wire
             # dialect; an attacker's framing choice must not flip ours.
@@ -269,7 +342,7 @@ class DatagramEndpoint(ABC):
                     now, self._dir_in, "bad_packet",
                     seq=message.nonce.seq, wire_len=len(raw),
                 )
-            return
+            return False
 
         # An authentic sequence number behind the newest one seen means
         # the network delivered this datagram out of order (an exact
@@ -309,8 +382,23 @@ class DatagramEndpoint(ABC):
                 rto=self._rtt.rto(),
             )
         self._received_payloads.append(packet.payload)
-        if self.on_datagram is not None:
+        if notify and self.on_datagram is not None:
             self.on_datagram(now)
+        return True
+
+    def notify_datagrams(self, now: float, count: int) -> None:
+        """Coalesced post-batch notification: ``count`` payloads queued.
+
+        Prefers the batch-aware ``on_datagram_count`` hook (one pump kick
+        for the whole burst); without one, replays ``on_datagram`` per
+        datagram so un-upgraded listeners observe identical call counts.
+        """
+        if self.on_datagram_count is not None:
+            self.on_datagram_count(now, count)
+            return
+        if self.on_datagram is not None:
+            for _ in range(count):
+                self.on_datagram(now)
 
     def pop_received(self) -> list[bytes]:
         """Drain payloads that arrived since the last call."""

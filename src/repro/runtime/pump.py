@@ -17,6 +17,8 @@ tick in a ``{role}.tick`` span.
 
 from __future__ import annotations
 
+from operator import attrgetter
+
 from repro.obs.registry import MetricsRegistry
 from repro.runtime.reactor import Reactor, TimerHandle
 from repro.transport.transport import Transport
@@ -38,6 +40,18 @@ _SENDER_COUNTERS = (
     ("datagrams_sent", "fragments"),
     ("diff_cache_hits", "diff_cache_hits"),
     ("diff_cache_misses", "diff_cache_misses"),
+)
+
+#: One-shot readers for the per-tick delta bridges: a prebuilt attrgetter
+#: walks C code instead of a genexpr + getattr per counter per tick.
+_read_sender = attrgetter(*(attr for attr, _ in _SENDER_COUNTERS))
+_read_crypto = attrgetter(
+    "datagrams_sealed",
+    "bytes_sealed",
+    "datagrams_unsealed",
+    "bytes_unsealed",
+    "auth_failures",
+    "replay_drops",
 )
 
 
@@ -78,17 +92,8 @@ class TransportPump:
         self.role = role
         self._sent_seen = endpoint.datagrams_sent
         stats = endpoint.session.stats
-        self._crypto_seen = (
-            stats.datagrams_sealed,
-            stats.bytes_sealed,
-            stats.datagrams_unsealed,
-            stats.bytes_unsealed,
-            stats.auth_failures,
-            stats.replay_drops,
-        )
-        self._sender_seen = tuple(
-            getattr(transport.sender, attr) for attr, _ in _SENDER_COUNTERS
-        )
+        self._crypto_seen = _read_crypto(stats)
+        self._sender_seen = _read_sender(transport.sender)
         self._wire_observability(reactor, transport, stats)
         inner = endpoint.on_datagram
 
@@ -98,7 +103,18 @@ class TransportPump:
                 inner(now)
             self.kick()
 
+        def on_datagram_count(now: float, count: int) -> None:
+            # Coalesced burst notification from the batched receive path:
+            # one transport kick for the whole burst instead of one per
+            # datagram (the kick is idempotent work scheduling).
+            reactor.metrics.datagrams_in += count
+            if inner is not None:
+                for _ in range(count):
+                    inner(now)
+            self.kick()
+
         endpoint.on_datagram = on_datagram
+        endpoint.on_datagram_count = on_datagram_count
 
     def _wire_observability(self, reactor: Reactor, transport, stats) -> None:
         """Adopt this endpoint's instruments into the shared registry."""
@@ -153,14 +169,7 @@ class TransportPump:
         # every tick, so it stays straight-line attribute math.
         stats = self._transport.endpoint.session.stats
         seen = self._crypto_seen
-        crypto = (
-            stats.datagrams_sealed,
-            stats.bytes_sealed,
-            stats.datagrams_unsealed,
-            stats.bytes_unsealed,
-            stats.auth_failures,
-            stats.replay_drops,
-        )
+        crypto = _read_crypto(stats)
         if crypto != seen:
             metrics.datagrams_sealed += crypto[0] - seen[0]
             metrics.bytes_sealed += crypto[1] - seen[1]
@@ -172,7 +181,7 @@ class TransportPump:
         # Same delta treatment for the sender's pacing counters.
         sender = self._transport.sender
         seen = self._sender_seen
-        fresh = tuple(getattr(sender, attr) for attr, _ in _SENDER_COUNTERS)
+        fresh = _read_sender(sender)
         if fresh != seen:
             for counter, new, old in zip(self._sender_counters, fresh, seen):
                 counter.value += new - old

@@ -170,6 +170,15 @@ class Reactor(ABC):
         self._core_labels: list[str] = []
         self.registry.gauge("reactor.cores", fn=lambda: len(self._core_labels))
 
+    def add_flush_hook(self, hook: Callable[[], int]) -> None:
+        """Register a per-tick wire-batch flush (rx before tx).
+
+        Sim reactors delegate to the event loop (flushes run before the
+        simulated clock advances); the real reactor runs hooks at the end
+        of every ``run_once`` iteration.
+        """
+        raise ReactorError(f"{type(self).__name__} has no flush hooks")
+
     def register_core(self, role: str, label: str | None = None) -> str:
         """Register a session core; returns its instrument-name prefix.
 
@@ -229,6 +238,10 @@ class SimReactor(Reactor):
         """Current simulated time in milliseconds."""
         return self.loop.now()
 
+    def add_flush_hook(self, hook: Callable[[], int]) -> None:
+        """Flush hooks ride the event loop's tick boundaries."""
+        self.loop.add_flush_hook(hook)
+
     def call_at(self, when_ms: float, callback: Callback) -> TimerHandle:
         """Schedule ``callback`` on the simulated event loop."""
         token_box: list[int] = []
@@ -271,6 +284,7 @@ class RealReactor(Reactor):
         self._counter = 0
         self._live: set[int] = set()
         self._readers: dict[int, Callback] = {}
+        self._flush_hooks: list[Callable[[], int]] = []
 
     def now(self) -> float:
         """Current wall-clock time in milliseconds (monotonic)."""
@@ -319,6 +333,10 @@ class RealReactor(Reactor):
         """Stop watching ``fd`` (no-op if it was never registered)."""
         self._readers.pop(fd, None)
 
+    def add_flush_hook(self, hook: Callable[[], int]) -> None:
+        """Run ``hook`` at the end of every ``run_once`` iteration."""
+        self._flush_hooks.append(hook)
+
     # -- loop -----------------------------------------------------------
 
     def run_once(self, max_wait_ms: float = 20.0) -> None:
@@ -345,6 +363,15 @@ class RealReactor(Reactor):
                 self.metrics.io_events += 1
                 callback()
         self._fire_due()
+        if self._flush_hooks:
+            # Wire-batch drain: everything queued by this iteration's I/O
+            # callbacks and timers goes out in one crypto+syscall burst.
+            for _ in range(8):
+                work = 0
+                for hook in self._flush_hooks:
+                    work += hook()
+                if not work:
+                    break
 
     def run_for(self, duration_ms: float, max_wait_ms: float = 20.0) -> None:
         """Run select()-loop iterations for ``duration_ms`` of wall time."""

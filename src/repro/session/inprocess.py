@@ -268,11 +268,13 @@ class InProcessDaemon:
         conn_id_framing: bool = True,
         echo: bool = True,
         flight_capacity: int = 8192,
+        wire_batch: bool = True,
     ) -> None:
         # Deferred import: repro.daemon.manager imports this package for
         # ServerCore, so binding at class-definition time would cycle.
         from repro.daemon.manager import SessionManager
         from repro.daemon.mux import SessionMux
+        from repro.network.batch import RxBatcher, WireBatcher
         from repro.simnet.host import SimMuxPort
 
         self.loop = EventLoop()
@@ -299,6 +301,17 @@ class InProcessDaemon:
             self.network, self.DAEMON_ADDR, handler=self.mux.dispatch
         )
         self.mux.transmit = self.port.transmit
+        # Wire batching (on by default): the daemon's sessions share one
+        # rx and one tx batcher, flushed at every event-loop tick boundary
+        # — rx first, so a burst's replies join the same tick's outgoing
+        # batch. Endpoints opt in as they are spawned (add_session).
+        self.tx_batcher = None
+        self.rx_batcher = None
+        if wire_batch:
+            self.tx_batcher = WireBatcher(registry=self.reactor.registry)
+            self.rx_batcher = RxBatcher(registry=self.reactor.registry)
+            self.reactor.add_flush_hook(self.rx_batcher.flush)
+            self.reactor.add_flush_hook(self.tx_batcher.flush)
         self.server_flights: dict[int, FlightRecorder] = {}
         self.client_flights: dict[int, FlightRecorder] = {}
         self.manager = SessionManager(
@@ -330,6 +343,9 @@ class InProcessDaemon:
             timing=self._timing,
         )
         cid = record.conn_id
+        if self.tx_batcher is not None:
+            record.endpoint.batcher = self.tx_batcher
+            record.endpoint.rx_stage = self.rx_batcher.stage
         if self._echo:
             # Default "application": echo user bytes straight back into
             # the session's terminal, so typed markers become screen

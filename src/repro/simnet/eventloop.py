@@ -28,6 +28,12 @@ class EventLoop:
         # cancelling an already-fired token is a true no-op and nothing
         # accumulates unboundedly under heavy cancel/re-arm churn.
         self._live: set[int] = set()
+        # Tick-boundary flush hooks (wire batchers). Each is called with
+        # no arguments and returns how much work it performed; the loop
+        # runs them before the clock advances past the current timestamp,
+        # so batched sends/receives hit the wire at the same simulated
+        # instant they were queued.
+        self._flush_hooks: list[Callable[[], int]] = []
 
     def now(self) -> float:
         return self.clock.now()
@@ -68,6 +74,32 @@ class EventLoop:
             return None
         return self._queue[0][0]
 
+    def add_flush_hook(self, hook: Callable[[], int]) -> None:
+        """Register a tick-boundary flush hook (see ``_flush``).
+
+        Hooks run in registration order; register receive-side flushes
+        before send-side ones so a burst's replies join the same tick's
+        outgoing batch.
+        """
+        self._flush_hooks.append(hook)
+
+    def _flush(self) -> None:
+        """Run flush hooks to quiescence (bounded rounds).
+
+        A receive flush can queue sends and vice versa, so hooks loop
+        until a full round reports no work. The bound is a safety net —
+        two rounds settle every real pipeline.
+        """
+        hooks = self._flush_hooks
+        if not hooks:
+            return
+        for _ in range(8):
+            work = 0
+            for hook in hooks:
+                work += hook()
+            if not work:
+                return
+
     def _pop_and_run(self) -> None:
         when, token, callback = heapq.heappop(self._queue)
         if token not in self._live:
@@ -77,11 +109,27 @@ class EventLoop:
         callback()
 
     def run_until(self, when_ms: float) -> None:
-        """Run all events with time <= ``when_ms``, then set now to it."""
+        """Run all events with time <= ``when_ms``, then set now to it.
+
+        Flush hooks fire whenever the clock is about to advance (and once
+        at the end), so every event sharing a timestamp contributes to
+        one batch and the batch drains before simulated time moves on.
+        """
         while True:
             next_time = self.peek_time()
-            if next_time is None or next_time > when_ms:
-                break
+            if (
+                next_time is None
+                or next_time > when_ms
+                or next_time > self.clock.now()
+            ):
+                # Tick boundary: drain batched work before the clock
+                # advances (or before returning). The flush may schedule
+                # new events — deliveries, retransmit timers — so re-peek
+                # and keep going if any now fall inside the window.
+                self._flush()
+                next_time = self.peek_time()
+                if next_time is None or next_time > when_ms:
+                    break
             self._pop_and_run()
         if when_ms > self.clock.now():
             self.clock.advance_to(when_ms)
@@ -93,7 +141,13 @@ class EventLoop:
     def run_until_idle(self, max_events: int = 1_000_000) -> None:
         """Drain the queue completely (bounded by ``max_events``)."""
         for _ in range(max_events):
-            if self.peek_time() is None:
-                return
+            next_time = self.peek_time()
+            if next_time is None or next_time > self.clock.now():
+                # Tick boundary (same contract as run_until): flush
+                # batched work before advancing, and only stop once a
+                # flush produces no new events.
+                self._flush()
+                if self.peek_time() is None:
+                    return
             self._pop_and_run()
         raise SimulationError(f"event loop still busy after {max_events} events")

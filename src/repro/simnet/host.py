@@ -113,6 +113,12 @@ class SimUdpEndpoint(DatagramEndpoint):
             self._side, self._local_addr, str(self._remote_addr), raw
         )
 
+    def transmit_to(self, raw: bytes, addr, now: float) -> None:
+        """Batched-flush transmit toward the address fixed at enqueue."""
+        self._network.send_datagram(
+            self._side, self._local_addr, str(addr), raw
+        )
+
     def deliver(self, raw: bytes, src_addr: str) -> None:
         """Called by the network when a datagram arrives."""
         self._handle_datagram(raw, src_addr, self._network.loop.now())

@@ -11,15 +11,20 @@ the terminal→transport hot path and the datagram sealing path:
 * ``wire_sha256`` — a digest of a scripted session's diff bytes, which
   must never change without a deliberate wire-format revision.
 
-Scenarios come from three suites that share one results file: the
+Scenarios come from four suites that share one results file: the
 terminal suite (``benchmarks/bench_hotpath.py``), the crypto suite
 (``benchmarks/bench_crypto.py``, names prefixed ``aes_``/``ocb_``/
-``session_``), and the observability suite (``benchmarks/bench_obs.py``,
-names prefixed ``obs_``). All feed the same ``--check`` regression gate,
-with one twist: ``*_overhead_pct`` scenarios are percentages, not µs/op —
-the gate asserts each stays at or below ``REPRO_BENCH_OVERHEAD_LIMIT_PCT``
-(default 5) instead of comparing ratios. The obs suite also contributes a
-``histograms`` section (seal/unseal p50/p99) to the results file.
+``session_``), the observability suite (``benchmarks/bench_obs.py``,
+names prefixed ``obs_``), and the wire-path suite
+(``benchmarks/bench_wire.py``, which fills the ``wire`` section instead
+of ``ops``). All feed the same ``--check`` regression gate, with two
+twists: ``*_overhead_pct`` scenarios are percentages, not µs/op — the
+gate asserts each stays at or below ``REPRO_BENCH_OVERHEAD_LIMIT_PCT``
+(default 5) instead of comparing ratios — and the ``wire`` section gates
+on absolute bounds (batched == unbatched wire bytes, a pkts/sec floor via
+``REPRO_BENCH_WIRE_PPS_FLOOR``, and < 0.2 syscalls/pkt on Linux). The
+obs suite also contributes a ``histograms`` section (seal/unseal
+p50/p99) to the results file.
 
 Usage::
 
@@ -56,6 +61,17 @@ OVERHEAD_LIMIT_PCT = float(
     os.environ.get("REPRO_BENCH_OVERHEAD_LIMIT_PCT", "5.0")
 )
 
+#: Floor for the batched wire-path throughput (pkts/sec) in the ``wire``
+#: section. Conservative: the recording host measured ~27-29k; this gate
+#: only catches order-of-magnitude regressions, not host noise.
+WIRE_PPS_FLOOR = float(os.environ.get("REPRO_BENCH_WIRE_PPS_FLOOR", "5000"))
+
+#: Upper bound on measured syscalls per packet for the batched real-UDP
+#: path (ISSUE acceptance: < 0.2 on Linux).
+WIRE_SYSCALLS_LIMIT = float(
+    os.environ.get("REPRO_BENCH_WIRE_SYSCALLS_LIMIT", "0.2")
+)
+
 
 def _load_bench_module(filename: str):
     src = os.path.join(ROOT, "src")
@@ -78,6 +94,8 @@ def _run_suites(quick: bool) -> dict:
     obs = _load_bench_module("bench_obs.py").run_benchmarks(quick=quick)
     fresh["ops"].update(obs["ops"])
     fresh["histograms"] = obs["histograms"]
+    wire = _load_bench_module("bench_wire.py").run_benchmarks(quick=quick)
+    fresh["wire"] = wire["wire"]
     return fresh
 
 
@@ -127,6 +145,32 @@ def _check(committed: dict, fresh: dict) -> int:
             "wire_sha256 mismatch: the diff wire format changed "
             f"({fresh['wire_sha256'][:16]}… vs committed {committed_sha[:16]}…)"
         )
+    wire = fresh.get("wire")
+    if wire is not None:
+        # The wire-path gate: batching must be byte-identical to the
+        # unbatched path, fast enough to be worth having, and (on Linux)
+        # actually amortizing syscalls.
+        if not wire.get("wire_match"):
+            failures.append(
+                "wire: batched datagram stream differs from unbatched "
+                "(zero-copy/batching changed the bytes on the wire)"
+            )
+        if not wire.get("e2e_wire_match", True):
+            failures.append(
+                "wire: full-stack batched session bytes differ from unbatched"
+            )
+        pps = wire.get("pkts_per_sec_batched", 0.0)
+        if pps < WIRE_PPS_FLOOR:
+            failures.append(
+                f"wire: {pps:,.0f} pkts/sec batched "
+                f"(floor {WIRE_PPS_FLOOR:,.0f})"
+            )
+        per_pkt = wire.get("syscalls_per_pkt")
+        if per_pkt is not None and per_pkt >= WIRE_SYSCALLS_LIMIT:
+            failures.append(
+                f"wire: {per_pkt:.3f} syscalls/pkt "
+                f"(bound {WIRE_SYSCALLS_LIMIT:g})"
+            )
     if failures:
         print("benchmark check FAILED:")
         for line in failures:
@@ -187,6 +231,7 @@ def main(argv: list[str] | None = None) -> int:
     doc.setdefault("schema", 1)
     doc["geometry"] = fresh["geometry"]
     doc["histograms"] = fresh["histograms"]
+    doc["wire"] = fresh["wire"]
     if args.record_baseline:
         doc["baseline"] = fresh["ops"]
         doc["baseline_quick"] = fresh["quick"]
