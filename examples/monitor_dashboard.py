@@ -146,6 +146,59 @@ def main() -> None:
           "? in flight")
 
     daemon_panel()
+    # Same panel at fleet scale: past the collapse threshold the rows
+    # give way to the active/parked split, pooled quantiles, and the
+    # top talkers.
+    daemon_panel(sessions=48)
+
+
+#: Above this many sessions, per-session rows stop being a dashboard and
+#: start being a scroll; the daemon panel collapses into a fleet summary.
+FLEET_COLLAPSE_THRESHOLD = 32
+
+
+def _merge_keystroke_buckets(hists: dict, conn_ids) -> tuple[dict, int, float]:
+    """Pool the per-session echo histograms from one snapshot document.
+
+    Every ``keystroke.c<id>.echo_ms`` histogram shares one bucket grid
+    (same low/high/resolution), so their sparse ``[bound, count]`` lists
+    merge by bound into one fleet-wide distribution.
+    """
+    merged: dict = {}
+    total = 0
+    observed_max = 0.0
+    for cid in conn_ids:
+        summary = hists.get(f"keystroke.c{cid}.echo_ms")
+        if not summary:
+            continue
+        observed_max = max(observed_max, summary["max"])
+        for bound, count in summary["buckets"]:
+            merged[bound] = merged.get(bound, 0) + count
+            total += count
+    return merged, total, observed_max
+
+
+def _merged_percentile(
+    merged: dict, total: int, p: float, observed_max: float
+) -> float:
+    """Percentile over pooled sparse buckets, geometric-midpoint style.
+
+    Mirrors ``Histogram.percentile``: the keystroke grid spans 1 ms to
+    600 s in 48 log-spaced buckets, so each bucket's midpoint sits one
+    half-step (``sqrt(ratio)``) below its upper bound.
+    """
+    if total == 0:
+        return 0.0
+    import math
+
+    half_step = math.sqrt((600_000.0 / 1.0) ** (1.0 / 47))
+    target = math.ceil(total * (p / 100.0))
+    seen = 0
+    for bound in sorted(b for b in merged if b != "inf"):
+        seen += merged[bound]
+        if seen >= target:
+            return bound / half_step if bound > 1.0 else bound
+    return observed_max  # landed in the overflow bucket
 
 
 def daemon_panel(sessions: int = 4) -> None:
@@ -155,6 +208,12 @@ def daemon_panel(sessions: int = 4) -> None:
     dashboard needs one row per session — id, SRTT, keystroke p95, and
     how long ago the client was last heard — all read from the same
     snapshot document, keyed by the ``s<id>``/``c<id>`` labels.
+
+    Past :data:`FLEET_COLLAPSE_THRESHOLD` sessions the rows collapse
+    into a fleet summary: the active/parked split (straight from the
+    manager's gauges), fleet-pooled echo quantiles, and the five
+    busiest sessions — everything an operator of a 10k-session daemon
+    can actually read at a glance.
     """
     from repro.session.inprocess import InProcessDaemon
 
@@ -167,26 +226,38 @@ def daemon_panel(sessions: int = 4) -> None:
         seed=12,
     )
     daemon.connect()
-    for cid in daemon.conn_ids:
-        for ch in f"session {cid} typing\n".encode():
+    # In a big fleet only a sliver of sessions is busy at any instant:
+    # type on a front slice and leave the rest idle, so the parked count
+    # in the summary means something.
+    busy = daemon.conn_ids
+    if sessions > FLEET_COLLAPSE_THRESHOLD:
+        busy = daemon.conn_ids[: max(5, sessions // 8)]
+    for rank, cid in enumerate(busy):
+        # Front of the slice types more, so "top 5 busiest" has a shape.
+        text = f"session {cid} typing\n" * (2 if rank < 3 else 1)
+        for ch in text.encode():
             daemon.client(cid).type_bytes(bytes([ch]))
             daemon.run_for(90.0)
-    # Everyone goes quiet; the last-heard ages grow while SRTT holds.
+    # Everyone goes quiet; the last-heard ages grow while SRTT holds,
+    # and idle sessions park off the scheduler entirely.
     daemon.run_for(4000.0)
 
     doc = daemon.metrics_snapshot()
     gauges, hists = doc["gauges"], doc["histograms"]
     now = daemon.loop.now()
     print(f"\nsession daemon: {sessions} sessions muxed on one port")
-    print("   id   srtt_ms   keystroke_p95_ms   last_heard")
-    for cid in daemon.conn_ids:
-        srtt = gauges.get(f"server.s{cid}.network.srtt_ms") or 0.0
-        ks = hists.get(f"keystroke.c{cid}.echo_ms", {})
-        p95 = ks.get("p95") or 0.0
-        age_s = (now - daemon.record(cid).last_heard()) / 1000.0
-        print(
-            f"   s{cid:<3} {srtt:7.1f}   {p95:16.0f}   {age_s:7.1f} s ago"
-        )
+    if sessions > FLEET_COLLAPSE_THRESHOLD:
+        _render_fleet_summary(daemon, doc, now)
+    else:
+        print("   id   srtt_ms   keystroke_p95_ms   last_heard")
+        for cid in daemon.conn_ids:
+            srtt = gauges.get(f"server.s{cid}.network.srtt_ms") or 0.0
+            ks = hists.get(f"keystroke.c{cid}.echo_ms", {})
+            p95 = ks.get("p95") or 0.0
+            age_s = (now - daemon.record(cid).last_heard()) / 1000.0
+            print(
+                f"   s{cid:<3} {srtt:7.1f}   {p95:16.0f}   {age_s:7.1f} s ago"
+            )
     counters = doc["counters"]
     print(
         f"   one-port routing: "
@@ -194,6 +265,43 @@ def daemon_panel(sessions: int = 4) -> None:
         f"{counters['daemon.no_route']:.0f} unroutable, "
         f"{counters['daemon.bad_packets']:.0f} garbage"
     )
+
+
+def _render_fleet_summary(daemon, doc: dict, now: float) -> None:
+    """The collapsed panel: fleet gauges, pooled quantiles, top talkers."""
+    gauges, hists = doc["gauges"], doc["histograms"]
+    active = gauges.get("daemon.sessions_active", 0.0)
+    parked = gauges.get("daemon.sessions_parked", 0.0)
+    print(
+        f"   fleet: {gauges.get('daemon.sessions_open', 0.0):.0f} open "
+        f"({active:.0f} active, {parked:.0f} parked)"
+    )
+    merged, total, observed_max = _merge_keystroke_buckets(
+        hists, daemon.conn_ids
+    )
+    if total:
+        p50 = _merged_percentile(merged, total, 50.0, observed_max)
+        p95 = _merged_percentile(merged, total, 95.0, observed_max)
+        p99 = _merged_percentile(merged, total, 99.0, observed_max)
+        print(
+            f"   echo latency (pooled, {total} keystrokes): "
+            f"p50={p50:.0f} ms  p95={p95:.0f} ms  p99={p99:.0f} ms"
+        )
+    ranked = sorted(
+        daemon.conn_ids,
+        key=lambda cid: hists.get(
+            f"keystroke.c{cid}.echo_ms", {}
+        ).get("count", 0),
+        reverse=True,
+    )
+    print("   top 5 busiest:  id   keystrokes   p95_ms   last_heard")
+    for cid in ranked[:5]:
+        ks = hists.get(f"keystroke.c{cid}.echo_ms", {})
+        age_s = (now - daemon.record(cid).last_heard()) / 1000.0
+        print(
+            f"                  s{cid:<4} {ks.get('count', 0):10.0f}  "
+            f"{ks.get('p95') or 0.0:7.0f}   {age_s:6.1f} s ago"
+        )
 
 
 #: One glyph per packet in the fate strip.

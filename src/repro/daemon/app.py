@@ -41,15 +41,33 @@ class DaemonApp:
         height: int = 24,
         idle_timeout_ms: float | None = None,
         flight: bool = False,
+        flight_budget: int | None = None,
         wire_batch: bool = True,
     ) -> None:
         self.reactor = RealReactor()
         self.flight: FlightRecorder | None = None
+        # Daemon-level ring budget: one total event allowance divided
+        # across the planned fleet (floor 64/session) instead of a
+        # full-size ring per session; the manager's
+        # ``daemon.flight.capacity_total`` gauge shows the resulting
+        # ceiling.
+        self._session_flight_capacity: int | None = None
+        if flight_budget is not None:
+            self._session_flight_capacity = max(
+                64, flight_budget // max(1, sessions)
+            )
         if flight:
             # One daemon-level recorder holds pre-route fates (garbage,
             # unroutable ids); each session's endpoint gets its own ring.
             self.flight = FlightRecorder(
-                "daemon", clock=self.reactor.now, clock_domain="real"
+                "daemon",
+                clock=self.reactor.now,
+                clock_domain="real",
+                **(
+                    {"capacity": self._session_flight_capacity}
+                    if self._session_flight_capacity is not None
+                    else {}
+                ),
             )
         self.connection = MuxUdpConnection(
             bind_host=bind_host,
@@ -93,8 +111,14 @@ class DaemonApp:
             self.spawn()
 
     def _session_flight(self, conn_id: int) -> FlightRecorder:
+        kwargs = {}
+        if self._session_flight_capacity is not None:
+            kwargs["capacity"] = self._session_flight_capacity
         recorder = FlightRecorder(
-            f"server.s{conn_id}", clock=self.reactor.now, clock_domain="real"
+            f"server.s{conn_id}",
+            clock=self.reactor.now,
+            clock_domain="real",
+            **kwargs,
         )
         self.session_flights[conn_id] = recorder
         return recorder

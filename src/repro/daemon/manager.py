@@ -2,12 +2,25 @@
 
 A :class:`SessionManager` owns the sessions living behind one
 :class:`~repro.daemon.mux.SessionMux`: it spawns them (key + virtual
-endpoint + :class:`~repro.session.core.ServerCore` + optionally a pty),
-tears them down, and runs the idle reaper — a reactor timer that closes
-sessions that have heard no authenticated traffic for the configured
-timeout, freeing their pty and routing entries. Mosh's one-process-per-
-session model never needed a reaper (the process *was* the lifetime);
-once N sessions share a process, lifetime must be explicit.
+endpoint + :class:`~repro.session.core.ServerCore` + optionally a pty)
+and tears them down. Mosh's one-process-per-session model never needed a
+reaper (the process *was* the lifetime); once N sessions share a
+process, lifetime must be explicit.
+
+Reaping is O(active), not O(sessions): instead of a periodic sweep over
+every record, each session owns one idle-deadline timer armed at
+``last_heard + idle_timeout``. The timer lives on the reactor's coarse
+timer wheel (deadlines are seconds out), fires O(1) work, and simply
+re-arms from the fresh ``last_heard`` when the session turns out to be
+alive — so a daemon full of parked sessions does *zero* per-tick reaper
+work, and a 10k-session fleet costs one wheel bucket insert per session
+per timeout period. Dead ptys are collected event-driven: a pty EOF
+wakes its reader, which closes the session on the spot.
+
+The manager also tracks the fleet's parked/active split: every spawned
+core's pump reports park transitions here, feeding the
+``daemon.sessions_parked`` / ``daemon.sessions_active`` gauges that the
+dashboard and the fleet bench read.
 
 The manager is substrate-neutral. It needs only a reactor and anything
 with ``open_endpoint(session, conn_id=, mtu=)`` — the real daemon passes
@@ -27,12 +40,18 @@ from repro.obs.flight import FlightRecorder
 from repro.runtime.reactor import Reactor, TimerHandle
 from repro.session.core import ServerCore
 
-#: How often the idle reaper wakes, as a fraction of the idle timeout.
-REAP_INTERVAL_DIVISOR = 4
-
-#: Reaper wake-interval bounds, milliseconds.
+#: Floor on a re-armed idle deadline, so a deadline landing just before
+#: expiry cannot busy-loop the timer.
 REAP_INTERVAL_MIN_MS = 250.0
-REAP_INTERVAL_MAX_MS = 30_000.0
+
+#: Slack added past the exact expiry instant: reaping requires idle
+#: strictly greater than the timeout, so fire just after, never at, it.
+REAP_DEADLINE_SLACK_MS = 1.0
+
+#: Fallback pty-liveness sweep cadence for sessions without an idle
+#: timeout. EOF-driven collection is the primary path; this catches a
+#: child that dies without its master fd ever selecting readable.
+PTY_SWEEP_INTERVAL_MS = 1000.0
 
 
 class SessionRecord:
@@ -48,6 +67,7 @@ class SessionRecord:
         "pty",
         "created_at",
         "state",
+        "reap_timer",
     )
 
     def __init__(
@@ -71,6 +91,8 @@ class SessionRecord:
         self.created_at = created_at
         #: "open" while routed; "closed" / "reaped" / "exited" afterwards.
         self.state = "open"
+        #: This session's idle-deadline timer (wheel-resident), if any.
+        self.reap_timer: TimerHandle | None = None
 
     def last_heard(self) -> float:
         """Last authenticated-traffic time (creation time until then)."""
@@ -104,16 +126,43 @@ class SessionManager:
         self._flight_factory = flight_factory
         self._idle_timeout_ms = idle_timeout_ms
         self._records: dict[int, SessionRecord] = {}
+        self._parked: set[int] = set()
         registry = reactor.registry
         self._spawned = registry.counter("daemon.sessions_spawned")
         self._reaped = registry.counter("daemon.sessions_reaped")
         self._exited = registry.counter("daemon.sessions_exited")
-        registry.gauge("daemon.sessions_active", fn=lambda: len(self._records))
-        self._reap_timer: TimerHandle | None = None
-        # The reaper also collects dead-pty sessions, so it runs whenever
-        # there are ptys to watch, not only when an idle timeout is set.
-        if idle_timeout_ms is not None or pty_factory is not None:
-            self._arm_reaper()
+        #: Idle-deadline timer fires; the regression tests assert this
+        #: stays flat as the parked-session count grows.
+        self._reap_checks = registry.counter("daemon.reap_checks")
+        registry.gauge("daemon.sessions_open", fn=lambda: len(self._records))
+        registry.gauge("daemon.sessions_parked", fn=lambda: len(self._parked))
+        registry.gauge(
+            "daemon.sessions_active",
+            fn=lambda: len(self._records) - len(self._parked),
+        )
+        # Fleet-wide flight-ring footprint: occupancy and the memory
+        # ceiling across every session's recorder, so a capped daemon can
+        # prove its forensic memory stays bounded as sessions accumulate.
+        registry.gauge(
+            "daemon.flight.events_total", fn=self._flight_events_total
+        )
+        registry.gauge(
+            "daemon.flight.capacity_total", fn=self._flight_capacity_total
+        )
+
+    def _flight_events_total(self) -> int:
+        return sum(
+            len(r.endpoint.flight)
+            for r in self._records.values()
+            if r.endpoint.flight is not None
+        )
+
+    def _flight_capacity_total(self) -> int:
+        return sum(
+            r.endpoint.flight.capacity
+            for r in self._records.values()
+            if r.endpoint.flight is not None
+        )
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -183,9 +232,27 @@ class SessionManager:
             created_at=self._reactor.now(),
         )
         self._records[cid] = record
+        core.pump.on_park_change = self._make_park_tracker(cid)
         self._spawned.value += 1
+        self._arm_session_deadline(record)
         core.kick()
         return record
+
+    def _make_park_tracker(self, conn_id: int) -> Callable[[bool], None]:
+        parked = self._parked
+
+        def on_park_change(is_parked: bool) -> None:
+            if is_parked:
+                parked.add(conn_id)
+            else:
+                parked.discard(conn_id)
+
+        return on_park_change
+
+    @property
+    def parked_count(self) -> int:
+        """How many open sessions are currently parked."""
+        return len(self._parked)
 
     def _make_pty_reader(self, conn_id: int) -> Callable[[], None]:
         def on_readable() -> None:
@@ -197,15 +264,24 @@ class SessionManager:
                 replies = record.core.host_write(data)
                 if replies:
                     record.pty.write(replies)
+            elif not record.pty.alive():
+                # EOF on a dead child: collect the session right here,
+                # event-driven, instead of waiting for any sweep.
+                self.close(conn_id, state="exited")
+                self._exited.value += 1
 
         return on_readable
 
     def close(self, conn_id: int, state: str = "closed") -> bool:
-        """Tear one session down: pty, routing entry, reader."""
+        """Tear one session down: pty, routing entry, reader, deadline."""
         record = self._records.pop(conn_id, None)
         if record is None:
             return False
         record.state = state
+        self._parked.discard(conn_id)
+        if record.reap_timer is not None:
+            record.reap_timer.cancel()
+            record.reap_timer = None
         if record.pty is not None:
             self._reactor.remove_reader(record.pty.fileno())
             record.pty.terminate()
@@ -215,30 +291,60 @@ class SessionManager:
     def close_all(self) -> None:
         for conn_id in list(self._records):
             self.close(conn_id)
-        if self._reap_timer is not None:
-            self._reap_timer.cancel()
-            self._reap_timer = None
 
     # ------------------------------------------------------------------
-    # Idle reaper
+    # Idle reaper — per-session deadlines on the timer wheel
     # ------------------------------------------------------------------
 
-    def _arm_reaper(self) -> None:
-        if self._idle_timeout_ms is None:
-            interval = 1000.0  # dead-pty collection only
-        else:
-            interval = min(
-                max(
-                    self._idle_timeout_ms / REAP_INTERVAL_DIVISOR,
-                    REAP_INTERVAL_MIN_MS,
-                ),
-                REAP_INTERVAL_MAX_MS,
+    def _arm_session_deadline(
+        self, record: SessionRecord, delay_ms: float | None = None
+    ) -> None:
+        """Arm this session's next lifetime check.
+
+        With an idle timeout the deadline sits at ``last_heard +
+        timeout`` — i.e. in the wheel bucket its last-heard time maps to
+        — so nothing at all runs for the session until the earliest
+        instant it could possibly expire. Pty-only sessions (no timeout)
+        get the slow fallback liveness sweep.
+        """
+        if delay_ms is None:
+            if self._idle_timeout_ms is not None:
+                delay_ms = self._idle_timeout_ms + REAP_DEADLINE_SLACK_MS
+            elif record.pty is not None:
+                delay_ms = PTY_SWEEP_INTERVAL_MS
+            else:
+                return
+        conn_id = record.conn_id
+        record.reap_timer = self._reactor.call_later(
+            delay_ms, lambda: self._session_deadline(conn_id)
+        )
+
+    def _session_deadline(self, conn_id: int) -> None:
+        """One session's lifetime check: O(1), fires only when it could
+        actually be due — never as a scan over the fleet."""
+        record = self._records.get(conn_id)
+        if record is None:
+            return
+        record.reap_timer = None
+        self._reap_checks.value += 1
+        now = self._reactor.now()
+        if record.pty is not None and not record.pty.alive():
+            self.close(conn_id, state="exited")
+            self._exited.value += 1
+            return
+        if self._idle_timeout_ms is not None:
+            idle = now - record.last_heard()
+            if idle > self._idle_timeout_ms:
+                self.close(conn_id, state="reaped")
+                self._reaped.value += 1
+                return
+            # Heard since: re-arm at the fresh last-heard's expiry.
+            remaining = self._idle_timeout_ms - idle + REAP_DEADLINE_SLACK_MS
+            self._arm_session_deadline(
+                record, max(remaining, REAP_INTERVAL_MIN_MS)
             )
-        self._reap_timer = self._reactor.call_later(interval, self._reap_tick)
-
-    def _reap_tick(self) -> None:
-        self.reap(self._reactor.now())
-        self._arm_reaper()
+        else:
+            self._arm_session_deadline(record, PTY_SWEEP_INTERVAL_MS)
 
     def reap(self, now: float | None = None) -> list[SessionRecord]:
         """Close idle and dead-pty sessions; returns what was culled.

@@ -228,6 +228,11 @@ class FlightRecorder:
     def __len__(self) -> int:
         return len(self._events)
 
+    @property
+    def capacity(self) -> int:
+        """Ring capacity (events retained before overwrite)."""
+        return self._capacity
+
     @staticmethod
     def _materialize(record: tuple) -> dict:
         kind = record[0]

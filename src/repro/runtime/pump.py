@@ -18,6 +18,7 @@ tick in a ``{role}.tick`` span.
 from __future__ import annotations
 
 from operator import attrgetter
+from typing import Callable
 
 from repro.obs.registry import MetricsRegistry
 from repro.runtime.reactor import Reactor, TimerHandle
@@ -30,6 +31,19 @@ MAX_TICK_DELAY_MS = 3000.0
 #: Floor on the re-arm delay so a confused timer can never pin a simulated
 #: clock in place (defense in depth; a due tick should always progress).
 MIN_TICK_DELAY_MS = 0.5
+
+#: A session parks only when its next deadline is at least this far out:
+#: an idle sender's sole deadline is the 3 s heartbeat, while pending
+#: data acks (<= 100 ms) and pacing deadlines stay well under this.
+PARK_MIN_WAIT_MS = 1000.0
+
+#: A *server* that has heard nothing for this long (3+ missed client
+#: heartbeats) treats the client as detached — suspended laptop, dead NAT
+#: binding — and goes dormant: no heartbeats into the void, no timer
+#: armed at all. The first datagram from the returning client kicks the
+#: pump synchronously and service resumes. Clients never go dormant;
+#: their heartbeats are what probes the path back.
+DORMANT_AFTER_MS = 10_000.0
 
 #: Sender counters bridged into the registry, attribute -> short name.
 _SENDER_COUNTERS = (
@@ -83,6 +97,19 @@ class TransportPump:
         self._reactor = reactor
         self._transport = transport
         self._timer: TimerHandle | None = None
+        #: True while this session is parked: the sender has no pending
+        #: diff and no unacked data, so the only armed timer (if any) is
+        #: the coarse heartbeat on the wheel, and per-tick bookkeeping is
+        #: skipped. A parked pump wakes synchronously on datagram arrival
+        #: (``on_datagram`` chains into :meth:`kick`) or on any local
+        #: activity (host writes and keystrokes kick directly).
+        self.parked = False
+        #: Park-transition hook: called with the new parked state; the
+        #: session manager counts fleet-wide parked/active gauges here.
+        self.on_park_change: Callable[[bool], None] | None = None
+        #: Kill switch for parking (benchmark legacy mode): when False the
+        #: pump always keeps a timer armed, pre-parking style.
+        self.park_enabled = True
         endpoint = transport.endpoint
         # ``role`` prefixes every adopted instrument name; daemon shells
         # pass per-session labels ("server.s3") so N pumps share a
@@ -187,7 +214,57 @@ class TransportPump:
                 counter.value += new - old
             self._sender_seen = fresh
         wait = self._transport.wait_time(now)
-        delay = MAX_TICK_DELAY_MS if wait is None else min(wait, MAX_TICK_DELAY_MS)
+        endpoint = self._transport.endpoint
+        if self.park_enabled:
+            if wait is None:
+                # Deep park: no peer address yet, so nothing can become
+                # due until the network speaks. No timer is armed at all
+                # — the first datagram (or local activity) kicks
+                # synchronously.
+                self._set_parked(True)
+                return
+            if (
+                sender.last_wait_idle
+                and endpoint.is_server
+                and endpoint.last_heard is not None
+                and now - endpoint.last_heard >= DORMANT_AFTER_MS
+            ):
+                # Dormant park: the client has been gone for several
+                # heartbeat periods. Stop heartbeating at its stale
+                # address; its next authentic datagram wakes us.
+                self._set_parked(True)
+                return
+            self._set_parked(
+                sender.last_wait_idle and wait >= PARK_MIN_WAIT_MS
+            )
+        else:
+            # Parking disabled: the pump always keeps a timer armed, so a
+            # parked flag left over from before the switch flipped (e.g.
+            # the pre-connect deep park) must not keep counting in the
+            # fleet gauges.
+            self._set_parked(False)
+            if wait is None:
+                wait = MAX_TICK_DELAY_MS
         self._timer = self._reactor.call_later(
-            max(delay, MIN_TICK_DELAY_MS), self.kick
+            max(min(wait, MAX_TICK_DELAY_MS), MIN_TICK_DELAY_MS), self.kick
         )
+
+    def suspend(self) -> None:
+        """Stop self-scheduling: the endpoint's machine "went to sleep".
+
+        No timer remains armed, so the session generates no traffic and
+        costs nothing until the next :meth:`kick` — a received datagram
+        or local activity — resumes the schedule. Used by harnesses to
+        model detached clients (closed laptops) at fleet scale.
+        """
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+        self._set_parked(True)
+
+    def _set_parked(self, parked: bool) -> None:
+        if parked == self.parked:
+            return
+        self.parked = parked
+        if self.on_park_change is not None:
+            self.on_park_change(parked)

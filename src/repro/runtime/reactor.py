@@ -30,6 +30,11 @@ from repro.clock import Clock, RealClock
 from repro.errors import ReactorError
 from repro.obs.registry import MetricsRegistry
 from repro.obs.trace import SpanTracer
+from repro.runtime.timerwheel import (
+    WHEEL_THRESHOLD_MS,
+    TimerWheel,
+    wheel_enabled_default,
+)
 from repro.simnet.eventloop import EventLoop
 
 Callback = Callable[[], None]
@@ -277,10 +282,15 @@ class RealReactor(Reactor):
     due timer. Cancelled timers are skimmed off the heap lazily.
     """
 
-    def __init__(self, clock: Clock | None = None) -> None:
+    def __init__(
+        self, clock: Clock | None = None, timer_wheel: bool | None = None
+    ) -> None:
         super().__init__()
         self._clock = clock if clock is not None else RealClock()
         self._heap: list[tuple[float, int, Callback, TimerHandle]] = []
+        if timer_wheel is None:
+            timer_wheel = wheel_enabled_default()
+        self._wheel: TimerWheel | None = TimerWheel() if timer_wheel else None
         self._counter = 0
         self._live: set[int] = set()
         self._readers: dict[int, Callback] = {}
@@ -293,11 +303,22 @@ class RealReactor(Reactor):
     # -- timers ---------------------------------------------------------
 
     def call_at(self, when_ms: float, callback: Callback) -> TimerHandle:
-        """Schedule ``callback`` at absolute wall-clock time ``when_ms``."""
+        """Schedule ``callback`` at absolute wall-clock time ``when_ms``.
+
+        Coarse timers (one wheel threshold or further out) take the O(1)
+        timer wheel; near-term ones go straight onto the precise heap.
+        """
         token = self._counter
         self._counter += 1
         handle = TimerHandle(lambda: self._cancel(token))
-        heapq.heappush(self._heap, (when_ms, token, callback, handle))
+        entry = (when_ms, token, callback, handle)
+        if (
+            self._wheel is not None
+            and when_ms - self.now() >= WHEEL_THRESHOLD_MS
+        ):
+            self._wheel.add(entry, self.now())
+        else:
+            heapq.heappush(self._heap, entry)
         self._live.add(token)
         return handle
 
@@ -305,12 +326,21 @@ class RealReactor(Reactor):
         self._live.discard(token)
         self.metrics.timers_cancelled += 1
 
-    def _next_deadline(self) -> float | None:
+    def _heap_top(self) -> float | None:
         while self._heap and self._heap[0][1] not in self._live:
             heapq.heappop(self._heap)
-        if not self._heap:
-            return None
-        return self._heap[0][0]
+        return self._heap[0][0] if self._heap else None
+
+    def _heap_push(
+        self, entry: tuple[float, int, Callback, TimerHandle]
+    ) -> None:
+        heapq.heappush(self._heap, entry)
+
+    def _next_deadline(self) -> float | None:
+        wheel = self._wheel
+        if wheel is not None and wheel:
+            wheel.drain_into(self._heap_push, self._heap_top)
+        return self._heap_top()
 
     def _fire_due(self) -> None:
         while True:

@@ -68,6 +68,11 @@ class ServerCore:
 
     # ------------------------------------------------------------------
 
+    @property
+    def pump(self) -> TransportPump:
+        """The session's transport pump; parking state lives here."""
+        return self._pump
+
     def kick(self) -> None:
         """Tick the transport now (new local state, app attach, etc.)."""
         self._pump.kick()
@@ -274,6 +279,11 @@ class ClientCore:
             self.reactor.call_later(self._heartbeat_ms, self._heartbeat)
 
     # ------------------------------------------------------------------
+
+    @property
+    def pump(self) -> TransportPump:
+        """The session's transport pump; parking state lives here."""
+        return self._pump
 
     def kick(self) -> None:
         """Tick the transport now."""

@@ -53,9 +53,6 @@ class MoshServer(ServerCore):
         )
         self.loop = loop
 
-    def pump(self) -> None:
-        self.kick()
-
 
 class MoshClient(ClientCore):
     """Client side on the simulator: a :class:`ClientCore` on a SimReactor."""
@@ -81,9 +78,6 @@ class MoshClient(ClientCore):
             label=label,
         )
         self.loop = loop
-
-    def pump(self) -> None:
-        self.kick()
 
 
 class InProcessSession:
@@ -230,8 +224,8 @@ class InProcessSession:
 
     def connect(self, warmup_ms: float = 2000.0) -> None:
         """Let the endpoints exchange first packets and measure the RTT."""
-        self.client.pump()
-        self.server.pump()
+        self.client.kick()
+        self.server.kick()
         self.run_for(warmup_ms)
 
 
@@ -268,7 +262,9 @@ class InProcessDaemon:
         conn_id_framing: bool = True,
         echo: bool = True,
         flight_capacity: int = 8192,
+        flight_budget: int | None = None,
         wire_batch: bool = True,
+        timer_wheel: bool | None = None,
     ) -> None:
         # Deferred import: repro.daemon.manager imports this package for
         # ServerCore, so binding at class-definition time would cycle.
@@ -277,7 +273,7 @@ class InProcessDaemon:
         from repro.network.batch import RxBatcher, WireBatcher
         from repro.simnet.host import SimMuxPort
 
-        self.loop = EventLoop()
+        self.loop = EventLoop(timer_wheel=timer_wheel)
         self.reactor = SimReactor(self.loop)
         self.network = SimNetwork(self.loop, uplink, downlink, seed=seed)
         self._timing = timing
@@ -286,6 +282,12 @@ class InProcessDaemon:
         self._height = height
         self._conn_id_framing = conn_id_framing
         self._echo = echo
+        # ``flight_budget`` is the daemon-level cap: a total event budget
+        # split evenly across the planned fleet, so 10k sessions cannot
+        # hold 10k full-size rings. Per-session capacity floors at 64 so
+        # a ring always holds a useful tail.
+        if flight_budget is not None:
+            flight_capacity = max(64, flight_budget // max(1, sessions))
         self._flight_capacity = flight_capacity
         #: Pre-route fates (garbage, unroutable conn ids) land here.
         self.daemon_flight = FlightRecorder(
@@ -397,7 +399,7 @@ class InProcessDaemon:
     def connect(self, warmup_ms: float = 2000.0) -> None:
         """First packet exchange for every session."""
         for client in self.clients.values():
-            client.pump()
+            client.kick()
         for record in self.manager.records():
             record.core.kick()
         self.run_for(warmup_ms)

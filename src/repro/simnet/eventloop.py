@@ -2,6 +2,15 @@
 
 Events fire in timestamp order; ties break by scheduling order, which makes
 every simulation fully deterministic for a given seed and call sequence.
+
+Scheduling is two-tier: near-term events go straight onto the precise
+heap, while coarse ones (heartbeats, reap deadlines, idle pump re-arms —
+anything :data:`~repro.runtime.timerwheel.WHEEL_THRESHOLD_MS` or further
+out) land in a :class:`~repro.runtime.timerwheel.TimerWheel` in O(1) and
+migrate to the heap lazily as the clock approaches. Migrated entries are
+the same ``(when, token, callback)`` tuples a heap-only loop would hold,
+so firing order — and therefore every simulation — is identical with the
+wheel on or off (``REPRO_TIMER_WHEEL=0`` forces heap-only mode).
 """
 
 from __future__ import annotations
@@ -11,6 +20,11 @@ from typing import Callable
 
 from repro.clock import SimulatedClock
 from repro.errors import SimulationError
+from repro.runtime.timerwheel import (
+    WHEEL_THRESHOLD_MS,
+    TimerWheel,
+    wheel_enabled_default,
+)
 
 Callback = Callable[[], None]
 
@@ -18,9 +32,14 @@ Callback = Callable[[], None]
 class EventLoop:
     """A priority-queue event loop driving a :class:`SimulatedClock`."""
 
-    def __init__(self, start_ms: float = 0.0) -> None:
+    def __init__(
+        self, start_ms: float = 0.0, timer_wheel: bool | None = None
+    ) -> None:
         self.clock = SimulatedClock(start_ms)
         self._queue: list[tuple[float, int, Callback]] = []
+        if timer_wheel is None:
+            timer_wheel = wheel_enabled_default()
+        self._wheel: TimerWheel | None = TimerWheel() if timer_wheel else None
         self._counter = 0
         # Tokens of queued events that have neither fired nor been
         # cancelled. Cancellation is lazy (entries stay in the heap until
@@ -47,7 +66,14 @@ class EventLoop:
             )
         token = self._counter
         self._counter += 1
-        heapq.heappush(self._queue, (when_ms, token, callback))
+        entry = (when_ms, token, callback)
+        if (
+            self._wheel is not None
+            and when_ms - self.clock.now() >= WHEEL_THRESHOLD_MS
+        ):
+            self._wheel.add(entry, self.clock.now())
+        else:
+            heapq.heappush(self._queue, entry)
         self._live.add(token)
         return token
 
@@ -66,13 +92,25 @@ class EventLoop:
         """Number of live (scheduled, uncancelled, unfired) events."""
         return len(self._live)
 
+    def _heap_top(self) -> float | None:
+        """Earliest live heap deadline (dead entries skimmed off)."""
+        queue = self._queue
+        live = self._live
+        while queue and queue[0][1] not in live:
+            heapq.heappop(queue)
+        return queue[0][0] if queue else None
+
+    def _heap_push(self, entry: tuple[float, int, Callback]) -> None:
+        heapq.heappush(self._queue, entry)
+
     def peek_time(self) -> float | None:
         """Time of the next live event, or None if the queue is empty."""
-        while self._queue and self._queue[0][1] not in self._live:
-            heapq.heappop(self._queue)
-        if not self._queue:
-            return None
-        return self._queue[0][0]
+        wheel = self._wheel
+        if wheel is not None and wheel:
+            # Lazy cascade: pull wheel buckets onto the heap only until
+            # the heap's top is provably the global minimum.
+            wheel.drain_into(self._heap_push, self._heap_top)
+        return self._heap_top()
 
     def add_flush_hook(self, hook: Callable[[], int]) -> None:
         """Register a tick-boundary flush hook (see ``_flush``).

@@ -41,6 +41,12 @@ class SimNetwork:
         # direction can't perturb the other.
         self.uplink = Link(loop, uplink_config, Random(rng.getrandbits(64)))
         self.downlink = Link(loop, downlink_config, Random(rng.getrandbits(64)))
+        self._rng = rng
+        #: Per-client-address access links (uplink, downlink): a fleet of
+        #: heterogeneous clients (EV-DO next to LTE next to wifi) routes
+        #: each through its own link pair; unmapped addresses keep the
+        #: shared defaults.
+        self._addr_links: dict[str, tuple[Link, Link]] = {}
         self._endpoints: dict[str, "SimUdpEndpoint"] = {}
 
     def register(self, addr: str, endpoint: "SimUdpEndpoint") -> None:
@@ -58,11 +64,38 @@ class SimNetwork:
             return self.downlink
         raise SimulationError(f"unknown side {from_side!r}")
 
+    def add_addr_profile(
+        self,
+        addr: str,
+        uplink_config: LinkConfig,
+        downlink_config: LinkConfig,
+    ) -> tuple[Link, Link]:
+        """Give one client address its own access-link pair.
+
+        Traffic *from* ``addr`` rides the private uplink; traffic *to*
+        it rides the private downlink. Each link draws from an
+        independent RNG stream seeded off the network seed, so adding a
+        profile never perturbs any other link's loss sequence.
+        """
+        pair = (
+            Link(self.loop, uplink_config, Random(self._rng.getrandbits(64))),
+            Link(self.loop, downlink_config, Random(self._rng.getrandbits(64))),
+        )
+        self._addr_links[addr] = pair
+        return pair
+
     def send_datagram(
         self, from_side: str, src_addr: str, dst_addr: str, raw: bytes
     ) -> None:
         """Route raw bytes from ``src_addr`` toward ``dst_addr``."""
-        link = self.link_for(from_side)
+        if from_side == CLIENT_SIDE:
+            pair = self._addr_links.get(src_addr)
+            link = pair[0] if pair is not None else self.uplink
+        elif from_side == SERVER_SIDE:
+            pair = self._addr_links.get(dst_addr)
+            link = pair[1] if pair is not None else self.downlink
+        else:
+            raise SimulationError(f"unknown side {from_side!r}")
 
         def deliver(data: bytes) -> None:
             endpoint = self._endpoints.get(dst_addr)

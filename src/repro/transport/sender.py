@@ -80,6 +80,9 @@ class TransportSender(Generic[S]):
         self._mindelay_clock: float | None = None
         self._last_heard = -1e12
         self._shutdown = False
+        #: Refreshed by :meth:`wait_time`: True when the only upcoming
+        #: deadline is the heartbeat (no pending diff, no unacked data).
+        self.last_wait_idle = False
 
         # Memoized diffs keyed by (source, target) fingerprints: the
         # retransmission-by-diff and heartbeat paths recompute identical
@@ -209,18 +212,23 @@ class TransportSender(Generic[S]):
         return self._endpoint.srtt
 
     def wait_time(self, now: float) -> float | None:
-        """Milliseconds until tick() next needs to run, or None for 'idle'."""
+        """Milliseconds until tick() next needs to run, or None for 'idle'.
+
+        Also refreshes :attr:`last_wait_idle`: True when the sender has
+        no pending diff and no unacked data, i.e. the only deadline left
+        is the periodic heartbeat/ack — the condition the pump uses to
+        park the session out of per-tick work.
+        """
         if self._endpoint.remote_addr is None:
+            self.last_wait_idle = True
             return None
         self._update_assumed_receiver_state(now)
-        candidates: list[float] = []
         nst = self._next_send_time(now)
-        if nst is not None:
-            candidates.append(nst)
-        candidates.append(self._next_ack_time)
-        if not candidates:
-            return None
-        return max(0.0, min(candidates) - now)
+        if nst is None:
+            self.last_wait_idle = True
+            return max(0.0, self._next_ack_time - now)
+        self.last_wait_idle = False
+        return max(0.0, min(nst, self._next_ack_time) - now)
 
     # ------------------------------------------------------------------
     # The main clock tick

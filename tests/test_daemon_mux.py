@@ -226,6 +226,108 @@ class TestIdleReaper:
         culled = manager.reap(now=loop.now() + 200.0)
         assert sorted(r.conn_id for r in culled) == [1, 2]
 
+    def test_reap_cost_independent_of_parked_count(self):
+        """O(active) scheduling: the idle-deadline machinery does the
+        same per-session work whether the daemon holds 4 parked sessions
+        or 64 — one deadline check per session per timeout period, never
+        a periodic scan over the fleet."""
+
+        def checks_per_session(sessions):
+            loop, reactor, mux, manager = self.make_daemon(
+                idle_timeout_ms=5000.0, sessions=sessions
+            )
+            # Keep every session alive so deadlines keep re-arming
+            # (reaped sessions would stop generating checks).
+            clients = {
+                r.conn_id: WireClient(r.key, conn_id=r.conn_id)
+                for r in manager.records()
+            }
+
+            def keepalive():
+                for cid, client in clients.items():
+                    mux.dispatch(client.datagram(now=loop.now()), f"a{cid}")
+                loop.schedule(2000.0, keepalive)
+
+            keepalive()
+            loop.run_for(60_000)
+            assert len(manager.conn_ids) == sessions
+            checks = reactor.registry.counter("daemon.reap_checks").value
+            return checks / sessions
+
+        small, large = checks_per_session(4), checks_per_session(64)
+        # Identical per-session work at 16x the fleet size.
+        assert small == large
+
+    def test_idle_connected_sessions_park_and_wake(self):
+        """A session whose sender has drained parks (counted by the
+        gauges); inbound traffic wakes it synchronously."""
+        from repro.session.inprocess import InProcessDaemon
+        from repro.simnet import LinkConfig
+
+        daemon = InProcessDaemon(
+            LinkConfig(delay_ms=10),
+            LinkConfig(delay_ms=10),
+            sessions=4,
+            width=40,
+            height=8,
+            seed=5,
+        )
+        daemon.connect(warmup_ms=1500)
+        daemon.client(1).type_bytes(b"hi")
+        daemon.run_for(5000)
+        manager = daemon.manager
+        # Quiescent fleet: every server core should be parked.
+        assert manager.parked_count == 4
+        gauges = daemon.metrics_snapshot()["gauges"]
+        assert gauges["daemon.sessions_parked"] == 4.0
+        assert gauges["daemon.sessions_active"] == 0.0
+        # A keystroke wakes exactly that session...
+        record = daemon.record(1)
+        daemon.client(1).type_bytes(b"x")
+        daemon.run_for(30.0)
+        assert record.core.pump.parked is False
+        assert manager.parked_count == 3
+        # ...and it re-parks once the exchange settles.
+        daemon.run_for(3000)
+        assert manager.parked_count == 4
+
+    def test_flight_budget_caps_ring_memory(self):
+        """A daemon-level flight budget divides one event allowance
+        across sessions and the aggregate gauges prove the bound."""
+        from repro.session.inprocess import InProcessDaemon
+        from repro.simnet import LinkConfig
+
+        daemon = InProcessDaemon(
+            LinkConfig(delay_ms=10),
+            LinkConfig(delay_ms=10),
+            sessions=8,
+            width=40,
+            height=8,
+            seed=7,
+            flight_budget=1024,
+        )
+        daemon.connect(warmup_ms=1500)
+        for cid in daemon.conn_ids:
+            daemon.client(cid).type_bytes(b"spam" * 8)
+        daemon.run_for(4000)
+        per_session = 1024 // 8
+        for cid in daemon.conn_ids:
+            assert daemon.server_flights[cid].capacity == per_session
+        gauges = daemon.metrics_snapshot()["gauges"]
+        assert gauges["daemon.flight.capacity_total"] == float(1024)
+        assert 0 < gauges["daemon.flight.events_total"] <= 1024
+        # The floor: a budget far below 64/session still leaves usable
+        # rings rather than zero-capacity ones.
+        tiny = InProcessDaemon(
+            LinkConfig(delay_ms=10),
+            LinkConfig(delay_ms=10),
+            sessions=8,
+            seed=8,
+            flight_budget=8,
+        )
+        assert tiny.server_flights
+        assert all(f.capacity == 64 for f in tiny.server_flights.values())
+
 
 MARKER = re.compile(r"#(\d+)#")
 

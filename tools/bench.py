@@ -72,6 +72,14 @@ WIRE_SYSCALLS_LIMIT = float(
     os.environ.get("REPRO_BENCH_WIRE_SYSCALLS_LIMIT", "0.2")
 )
 
+#: The committed fleet-capacity model (written by benchmarks/bench_fleet.py).
+FLEET_RESULTS_PATH = os.path.join(ROOT, "BENCH_fleet.json")
+
+#: The committed fleet model must show the O(active) scheduler carrying at
+#: least this many times more idle sessions per core than the pre-parking
+#: daemon, at the same echo-latency SLO (ISSUE acceptance: >= 4x).
+FLEET_RATIO_MIN = float(os.environ.get("REPRO_BENCH_FLEET_RATIO_MIN", "4"))
+
 
 def _load_bench_module(filename: str):
     src = os.path.join(ROOT, "src")
@@ -171,6 +179,7 @@ def _check(committed: dict, fresh: dict) -> int:
                 f"wire: {per_pkt:.3f} syscalls/pkt "
                 f"(bound {WIRE_SYSCALLS_LIMIT:g})"
             )
+    failures.extend(_check_fleet())
     if failures:
         print("benchmark check FAILED:")
         for line in failures:
@@ -181,6 +190,37 @@ def _check(committed: dict, fresh: dict) -> int:
         f"{REGRESSION_FACTOR:g}x of committed numbers, wire format unchanged"
     )
     return 0
+
+
+def _check_fleet() -> list[str]:
+    """Gate the committed fleet-capacity model (BENCH_fleet.json).
+
+    The fleet bench itself is too slow for every --check run, so this
+    validates the committed document: it must exist, its capacity model
+    must clear the ISSUE's >= FLEET_RATIO_MIN idle-capacity ratio, and
+    every measured fleet must have met the echo-latency SLO. Re-running
+    ``benchmarks/bench_fleet.py --check`` re-measures from scratch.
+    """
+    if not os.path.exists(FLEET_RESULTS_PATH):
+        return [
+            "fleet: BENCH_fleet.json missing "
+            "(run: python benchmarks/bench_fleet.py)"
+        ]
+    with open(FLEET_RESULTS_PATH) as f:
+        doc = json.load(f)
+    failures = []
+    capacity = doc.get("capacity", {})
+    ratio = capacity.get("idle_capacity_ratio", 0.0)
+    if ratio < FLEET_RATIO_MIN:
+        failures.append(
+            f"fleet: committed idle capacity ratio {ratio:g}x "
+            f"< required {FLEET_RATIO_MIN:g}x"
+        )
+    if not capacity.get("slo_met"):
+        failures.append(
+            "fleet: committed run breached the keystroke-echo SLO"
+        )
+    return failures
 
 
 def main(argv: list[str] | None = None) -> int:

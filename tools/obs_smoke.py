@@ -163,8 +163,12 @@ def daemon_stage(args) -> list[str]:
         failures.append("daemon routed garbage on a clean simulation")
     if counters.get("daemon.datagrams_routed", 0) < 8:
         failures.append("daemon.datagrams_routed counted almost nothing")
-    if gauges.get("daemon.sessions_active") != 8.0:
-        failures.append("daemon.sessions_active gauge is not 8")
+    if gauges.get("daemon.sessions_open") != 8.0:
+        failures.append("daemon.sessions_open gauge is not 8")
+    parked = gauges.get("daemon.sessions_parked")
+    active = gauges.get("daemon.sessions_active")
+    if parked is None or active is None or parked + active != 8.0:
+        failures.append("parked + active gauges do not partition the fleet")
 
     # Every session must show up under its own label, on both sides.
     for cid in daemon.conn_ids:
