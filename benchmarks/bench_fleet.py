@@ -27,6 +27,12 @@ into a capacity model:
 * **Mass-reconnect storm** — every client comes back in the same
   millisecond and types; the bench asserts every session wakes and
   meters the absorb cost.
+* **SLO health monitor** — the ``new`` build runs the bundled
+  :func:`~repro.obs.default_fleet_ruleset` on a 1 s evaluation timer
+  throughout. The bench asserts the monitor reports ``ok`` through the
+  flash-crowd arrival and the active slice, and that the ``mass_wake``
+  burn-rate rule flags the reconnect storm (the dormant-wake spike that
+  separates a storm from a flash crowd of fresh sessions).
 
 The capacity model divides one core-second by the per-idle-session cost
 slope: ``idle_sessions_per_core = 1e6 µs / slope(µs per session per
@@ -53,6 +59,8 @@ sys.path.insert(
     0, os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
 )
 
+from repro.obs import HealthMonitor, default_fleet_ruleset  # noqa: E402
+from repro.obs.keystroke import ECHO_GRID  # noqa: E402
 from repro.obs.registry import Histogram  # noqa: E402
 from repro.session.inprocess import InProcessDaemon  # noqa: E402
 from repro.simnet.link import LinkConfig  # noqa: E402
@@ -153,6 +161,17 @@ def _build_fleet(sessions: int, mode: str, waves: int = 8):
         flight_capacity=64,  # budget-capped rings: forensics stay bounded
         timer_wheel=(mode == "new"),
     )
+    monitor = None
+    if mode == "new":
+        # The SLO health plane rides along on the new build only: the
+        # legacy build never parks, so its active-ratio gauge pins at
+        # 1.0 and the dormant-wake storm signal does not exist there.
+        monitor = HealthMonitor(
+            daemon.reactor.registry,
+            default_fleet_ruleset(SLO_P95_MS),
+            clock=daemon.loop.now,
+        )
+        monitor.attach(daemon.reactor)
     meter = DaemonCostMeter()
     meter.wrap(daemon.port, "handler")           # mux dispatch
     meter.wrap(daemon.manager, "_session_deadline")
@@ -188,7 +207,7 @@ def _build_fleet(sessions: int, mode: str, waves: int = 8):
         "spawn_us_per_session": round(spawn_wall * 1e6 / max(1, sessions), 1),
         "waves": waves,
     }
-    return daemon, meter, spawn_stats
+    return daemon, meter, spawn_stats, monitor
 
 
 def _drive_active_slice(daemon, active_ids, duration_ms: float, scale: float):
@@ -209,18 +228,16 @@ def _drive_active_slice(daemon, active_ids, duration_ms: float, scale: float):
 
 
 def _pooled_echo_quantiles(daemon, active_ids):
-    """Merge the active sessions' keystroke histograms bucket-by-bucket."""
-    pooled = Histogram("fleet.echo_ms", low=1.0, high=600_000.0, unit="ms")
-    for cid in active_ids:
-        hist = daemon.reactor.registry.get(f"keystroke.c{cid}.echo_ms")
-        if hist is None or hist.count == 0:
-            continue
-        for i, n in enumerate(hist._counts):
-            pooled._counts[i] += n
-        pooled.count += hist.count
-        pooled.total += hist.total
-        pooled.min = min(pooled.min, hist.min)
-        pooled.max = max(pooled.max, hist.max)
+    """Pool the active sessions' keystroke histograms (public merge API)."""
+    pooled = daemon.reactor.registry.pool_histograms(
+        (f"keystroke.c{cid}.echo_ms" for cid in active_ids),
+        name="fleet.echo_ms",
+    )
+    if pooled is None:  # nobody typed: an empty histogram on the echo grid
+        low, high, buckets = ECHO_GRID
+        pooled = Histogram(
+            "fleet.echo_ms", low=low, high=high, buckets=buckets, unit="ms"
+        )
     return pooled
 
 
@@ -267,10 +284,11 @@ def run_fleet(
     quick: bool,
 ) -> dict:
     """One complete fleet scenario at one size in one build mode."""
-    daemon, meter, spawn_stats = _build_fleet(sessions, mode)
+    daemon, meter, spawn_stats, monitor = _build_fleet(sessions, mode)
     wall0 = time.perf_counter()
     daemon.connect(warmup_ms=2500.0)
     connect_wall = time.perf_counter() - wall0
+    level_after_connect = monitor.level if monitor is not None else None
 
     active_count = max(1, int(sessions * active_fraction))
     # Deterministic sample, NOT a fixed stride: a stride that shares a
@@ -285,6 +303,7 @@ def run_fleet(
     _drive_active_slice(daemon, active_ids, active_ms, 0.02 if quick else 0.05)
     active_wall = meter.take()
     pooled = _pooled_echo_quantiles(daemon, active_ids)
+    level_after_active = monitor.level if monitor is not None else None
 
     # Idle ladder: detach everyone, let the new build cross the dormancy
     # threshold, then meter a long quiet window.
@@ -299,7 +318,24 @@ def run_fleet(
     gauges = daemon.metrics_snapshot()["gauges"]
     parked = gauges.get("daemon.sessions_parked", 0.0)
 
+    alert_seq_before_storm = monitor.alert_seq if monitor is not None else 0
     storm = _reconnect_storm(daemon, meter)
+
+    health = None
+    if monitor is not None:
+        storm_alerts = monitor.alerts_since(alert_seq_before_storm)
+        health = {
+            "level_after_connect": level_after_connect,
+            "level_after_active": level_after_active,
+            "storm_mass_wake_flagged": any(
+                a["rule"] == "mass_wake" and a["to"] != "ok"
+                for a in storm_alerts
+            ),
+            "storm_alert_rules": sorted(
+                {a["rule"] for a in storm_alerts if a["to"] != "ok"}
+            ),
+            "alerts_total": monitor.alert_seq,
+        }
 
     return {
         "mode": mode,
@@ -315,6 +351,7 @@ def run_fleet(
         "sessions_parked_idle": parked,
         "flight_capacity_total": gauges.get("daemon.flight.capacity_total"),
         "reconnect_storm": storm,
+        "health": health,
         **spawn_stats,
     }
 
@@ -410,6 +447,24 @@ def check(doc: dict) -> int:
                 f"{fleet.get('sessions_parked_idle')} sessions parked while "
                 "fully detached"
             )
+        if fleet["mode"] == "new":
+            health = fleet.get("health")
+            if health is None:
+                failures.append(
+                    f"new/{fleet['sessions']}: no health monitor record"
+                )
+            else:
+                for phase in ("level_after_connect", "level_after_active"):
+                    if health.get(phase) != "ok":
+                        failures.append(
+                            f"new/{fleet['sessions']}: health "
+                            f"{health.get(phase)!r} (not ok) at {phase}"
+                        )
+                if not health.get("storm_mass_wake_flagged"):
+                    failures.append(
+                        f"new/{fleet['sessions']}: mass_wake rule did not "
+                        "flag the reconnect storm"
+                    )
     if failures:
         print("fleet benchmark check FAILED:")
         for line in failures:

@@ -27,6 +27,7 @@ Run via the CLI runner::
 from __future__ import annotations
 
 import gc
+import json
 import sys
 import time
 from statistics import median
@@ -34,7 +35,13 @@ from statistics import median
 from repro.crypto.keys import DIRECTION_TO_SERVER, Base64Key, Nonce
 from repro.crypto.session import Message, Session
 from repro.obs.flight import DIR_C2S, FlightRecorder
-from repro.obs.registry import Histogram, MetricsRegistry, set_enabled
+from repro.obs.registry import (
+    Histogram,
+    MetricsRegistry,
+    SnapshotDelta,
+    set_enabled,
+)
+from repro.obs.telemetry import FEED_INTERVAL_MS
 from repro.obs.trace import SpanTracer
 from repro.prediction.engine import DisplayPreference
 from repro.session.inprocess import InProcessSession
@@ -152,6 +159,46 @@ def _typing_session_walltime(flight: bool = True) -> float:
         gc.enable()
 
 
+def _typing_telemetry_walltime(feed: bool) -> float:
+    """Wall seconds for the typing workload with a live delta feed riding.
+
+    ``feed=True`` primes a :class:`SnapshotDelta` against the session's
+    registry and, on the telemetry server's default feed cadence,
+    collects the changed-set and JSON-encodes it to a null sink —
+    exactly the per-subscriber work one ``watch`` client costs a
+    daemon, minus the socket write.
+    """
+    session = InProcessSession(
+        LinkConfig(delay_ms=20.0),
+        LinkConfig(delay_ms=20.0),
+        seed=0,
+        preference=DisplayPreference.ALWAYS,
+    )
+    session.server.on_input = lambda data: session.server.host_write(data)
+    session.connect(warmup_ms=500.0)
+    if feed:
+        delta = SnapshotDelta(session.reactor.registry)
+        delta.prime()
+
+        def collect() -> None:
+            doc = delta.collect()
+            if doc is not None:
+                json.dumps(doc, separators=(",", ":"))
+            session.reactor.call_later(FEED_INTERVAL_MS, collect)
+
+        session.reactor.call_later(FEED_INTERVAL_MS, collect)
+    gc.collect()
+    gc.disable()
+    try:
+        t0 = time.perf_counter()
+        for i in range(60):
+            session.client.type_bytes(b"q" if i % 30 else b"\r")
+            session.run_for(40.0)
+        return time.perf_counter() - t0
+    finally:
+        gc.enable()
+
+
 def _seal_walltime(iters: int) -> float:
     """Wall seconds to seal+unseal ``iters`` datagrams through a Session."""
     session = Session(Base64Key(_KEY))
@@ -222,6 +269,21 @@ def bench_seal_overhead_pct(quick: bool) -> float:
     )
 
 
+def bench_telemetry_overhead_pct(quick: bool) -> float:
+    """Percent added by one live telemetry subscriber, instrumentation on.
+
+    Both arms run fully instrumented; the A arm additionally drives a
+    primed delta feed at 10 Hz (collect + JSON encode), so the difference
+    is the telemetry plane's marginal cost — the number the ≤5 % obs
+    acceptance gate holds.
+    """
+    set_enabled(True)
+    return _paired_overhead_pct(
+        lambda on: _typing_telemetry_walltime(feed=on),
+        repeats=6 if quick else 8,
+    )
+
+
 def bench_flight_overhead_pct(quick: bool) -> float:
     """Percent added by the flight recorders alone, instrumentation on.
 
@@ -276,6 +338,7 @@ OVERHEAD_SCENARIOS = {
     "e2e_typing_overhead_pct": bench_e2e_typing_overhead_pct,
     "seal_overhead_pct": bench_seal_overhead_pct,
     "flight_overhead_pct": bench_flight_overhead_pct,
+    "telemetry_overhead_pct": bench_telemetry_overhead_pct,
 }
 
 

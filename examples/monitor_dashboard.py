@@ -14,6 +14,12 @@ seal/unseal latency percentiles, and the simnet link gauges — all read
 from one ``registry.snapshot()`` document.
 
 Run:  python examples/monitor_dashboard.py
+
+Attach mode: with ``--attach HOST:PORT`` (or a Unix socket path) the
+script skips the simulation entirely and renders the same fleet panels
+from a *live* daemon's telemetry feed — start one with
+``repro serve --telemetry 127.0.0.1:0`` and point this at the printed
+address (equivalent to ``repro top``).
 """
 
 from random import Random
@@ -157,48 +163,22 @@ def main() -> None:
 FLEET_COLLAPSE_THRESHOLD = 32
 
 
-def _merge_keystroke_buckets(hists: dict, conn_ids) -> tuple[dict, int, float]:
-    """Pool the per-session echo histograms from one snapshot document.
+def _pooled_keystrokes(hists: dict, conn_ids):
+    """Pool the per-session echo summaries via the public registry API.
 
-    Every ``keystroke.c<id>.echo_ms`` histogram shares one bucket grid
-    (same low/high/resolution), so their sparse ``[bound, count]`` lists
-    merge by bound into one fleet-wide distribution.
+    Every ``keystroke.c<id>.echo_ms`` histogram lives on the shared
+    :data:`~repro.obs.ECHO_GRID`, so the snapshot document's summaries
+    reconstruct and merge into one fleet-wide Histogram with real
+    percentile accessors — no hand-rolled bucket math.
     """
-    merged: dict = {}
-    total = 0
-    observed_max = 0.0
-    for cid in conn_ids:
-        summary = hists.get(f"keystroke.c{cid}.echo_ms")
-        if not summary:
-            continue
-        observed_max = max(observed_max, summary["max"])
-        for bound, count in summary["buckets"]:
-            merged[bound] = merged.get(bound, 0) + count
-            total += count
-    return merged, total, observed_max
+    from repro.obs import ECHO_GRID, merge_summaries
 
-
-def _merged_percentile(
-    merged: dict, total: int, p: float, observed_max: float
-) -> float:
-    """Percentile over pooled sparse buckets, geometric-midpoint style.
-
-    Mirrors ``Histogram.percentile``: the keystroke grid spans 1 ms to
-    600 s in 48 log-spaced buckets, so each bucket's midpoint sits one
-    half-step (``sqrt(ratio)``) below its upper bound.
-    """
-    if total == 0:
-        return 0.0
-    import math
-
-    half_step = math.sqrt((600_000.0 / 1.0) ** (1.0 / 47))
-    target = math.ceil(total * (p / 100.0))
-    seen = 0
-    for bound in sorted(b for b in merged if b != "inf"):
-        seen += merged[bound]
-        if seen >= target:
-            return bound / half_step if bound > 1.0 else bound
-    return observed_max  # landed in the overflow bucket
+    summaries = [
+        hists[f"keystroke.c{cid}.echo_ms"]
+        for cid in conn_ids
+        if f"keystroke.c{cid}.echo_ms" in hists
+    ]
+    return merge_summaries(summaries, *ECHO_GRID)
 
 
 def daemon_panel(sessions: int = 4) -> None:
@@ -276,16 +256,12 @@ def _render_fleet_summary(daemon, doc: dict, now: float) -> None:
         f"   fleet: {gauges.get('daemon.sessions_open', 0.0):.0f} open "
         f"({active:.0f} active, {parked:.0f} parked)"
     )
-    merged, total, observed_max = _merge_keystroke_buckets(
-        hists, daemon.conn_ids
-    )
-    if total:
-        p50 = _merged_percentile(merged, total, 50.0, observed_max)
-        p95 = _merged_percentile(merged, total, 95.0, observed_max)
-        p99 = _merged_percentile(merged, total, 99.0, observed_max)
+    pooled = _pooled_keystrokes(hists, daemon.conn_ids)
+    if pooled.count:
         print(
-            f"   echo latency (pooled, {total} keystrokes): "
-            f"p50={p50:.0f} ms  p95={p95:.0f} ms  p99={p99:.0f} ms"
+            f"   echo latency (pooled, {pooled.count} keystrokes): "
+            f"p50={pooled.p50:.0f} ms  p95={pooled.p95:.0f} ms  "
+            f"p99={pooled.p99:.0f} ms"
         )
     ranked = sorted(
         daemon.conn_ids,
@@ -324,4 +300,27 @@ def _fate_key(record) -> str:
 
 
 if __name__ == "__main__":
+    import argparse
+
+    _parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    _parser.add_argument(
+        "--attach",
+        metavar="TARGET",
+        default=None,
+        help="render the fleet panel from a live daemon's telemetry "
+        "socket (host:port or Unix path) instead of simulating one",
+    )
+    _parser.add_argument(
+        "--ticks",
+        type=int,
+        default=0,
+        help="with --attach: exit after N feed ticks (0 = until ^C)",
+    )
+    _args = _parser.parse_args()
+    if _args.attach:
+        from repro.cli import top_main
+
+        raise SystemExit(
+            top_main([_args.attach, "--ticks", str(_args.ticks)])
+        )
     main()

@@ -9,6 +9,10 @@
 * ``repro-mosh-demo`` — run a self-contained server+client pair on
   localhost, type a command, show the synchronized screen, and exit.
   Useful as a smoke test of the real-UDP/pty path.
+* ``repro scrape <target>`` / ``repro top <target>`` — attach to a live
+  server/daemon's telemetry socket (``--telemetry``): one-shot snapshot
+  scrape (JSON, Prometheus, or health), or a live fleet panel fed by the
+  JSONL delta stream.
 * ``repro <subcommand>`` — umbrella entry point for all of the above
   (``repro serve``, ``repro client``, ...).
 """
@@ -16,7 +20,9 @@
 from __future__ import annotations
 
 import argparse
+import json
 import os
+import re
 import shutil
 import sys
 import time
@@ -28,6 +34,15 @@ def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
         metavar="PATH",
         default=None,
         help="on exit, write the repro.obs/1 metrics snapshot as JSON",
+    )
+    parser.add_argument(
+        "--metrics-interval",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="with --metrics-dump: rewrite the snapshot atomically every "
+        "SECONDS while running, so a crashed process still leaves fresh "
+        "metrics behind",
     )
     parser.add_argument(
         "--trace",
@@ -44,6 +59,45 @@ def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
         "repro.obs.flight/1 JSONL recording on exit (merge two endpoints' "
         "recordings with tools/flightlog.py)",
     )
+
+
+def _start_obs(app, args, parser) -> None:
+    """Start the in-flight observability services before ``app.run()``."""
+    if args.metrics_interval is not None:
+        if not args.metrics_dump:
+            parser.error("--metrics-interval requires --metrics-dump PATH")
+        from repro.obs.telemetry import attach_metrics_writer
+
+        attach_metrics_writer(
+            app.reactor,
+            app.reactor.registry,
+            args.metrics_dump,
+            args.metrics_interval * 1000.0,
+        )
+
+
+def _attach_telemetry(app, bind: str):
+    """Serve a TelemetryServer (with default health rules) on ``app``."""
+    from repro.obs.health import HealthMonitor, default_fleet_ruleset
+    from repro.obs.telemetry import TelemetryServer
+
+    health = getattr(app, "health", None)
+    if health is None:
+        health = HealthMonitor(
+            app.reactor.registry,
+            default_fleet_ruleset(),
+            clock=app.reactor.now,
+        )
+        health.attach(app.reactor)
+    server = TelemetryServer(
+        app.reactor, app.reactor.registry, bind=bind, health=health
+    )
+    print(
+        f"[repro-mosh] telemetry on {server.address}",
+        file=sys.stderr,
+        flush=True,
+    )
+    return server
 
 
 def _dump_obs(app, args) -> None:
@@ -71,6 +125,13 @@ def server_main(argv: list[str] | None = None) -> int:
     parser.add_argument("--width", type=int, default=80)
     parser.add_argument("--height", type=int, default=24)
     parser.add_argument(
+        "--telemetry",
+        metavar="ADDR",
+        default=None,
+        help="serve live telemetry on ADDR (host:port or a Unix socket "
+        "path) for repro scrape / repro top",
+    )
+    parser.add_argument(
         "command", nargs="*", help="command to run (default: $SHELL)"
     )
     _add_obs_flags(parser)
@@ -86,6 +147,9 @@ def server_main(argv: list[str] | None = None) -> int:
         height=args.height,
         flight=args.flight_log is not None,
     )
+    if args.telemetry:
+        _attach_telemetry(app, args.telemetry)
+    _start_obs(app, args, parser)
     print(app.connect_line(), flush=True)
     app.run()
     _dump_obs(app, args)
@@ -116,6 +180,13 @@ def serve_main(argv: list[str] | None = None) -> int:
         help="reap sessions with no authenticated traffic for this long",
     )
     parser.add_argument(
+        "--telemetry",
+        metavar="ADDR",
+        default=None,
+        help="serve live telemetry on ADDR (host:port or a Unix socket "
+        "path) for repro scrape / repro top",
+    )
+    parser.add_argument(
         "command", nargs="*", help="command to run (default: $SHELL)"
     )
     _add_obs_flags(parser)
@@ -136,7 +207,15 @@ def serve_main(argv: list[str] | None = None) -> int:
             args.idle_timeout * 1000.0 if args.idle_timeout is not None else None
         ),
         flight=args.flight_log is not None,
+        telemetry=args.telemetry,
     )
+    if app.telemetry is not None:
+        print(
+            f"[repro-mosh-daemon] telemetry on {app.telemetry.address}",
+            file=sys.stderr,
+            flush=True,
+        )
+    _start_obs(app, args, parser)
     for line in app.connect_lines():
         print(line, flush=True)
     app.run()
@@ -182,6 +261,7 @@ def client_main(argv: list[str] | None = None) -> int:
         conn_id=args.conn_id,
     )
     app.send_resize(size.columns, size.lines)
+    _start_obs(app, args, parser)
     app.run()
     _dump_obs(app, args)
     return 0
@@ -266,6 +346,7 @@ def demo_main(argv: list[str] | None = None) -> int:
         stdout=sink,
         flight=args.flight_log is not None,
     )
+    _start_obs(client, args, parser)
     deadline = time.monotonic() + args.seconds
     typed = False
     while time.monotonic() < deadline:
@@ -287,6 +368,176 @@ def demo_main(argv: list[str] | None = None) -> int:
     return 0
 
 
+def scrape_main(argv: list[str] | None = None) -> int:
+    """One-shot scrape of a live telemetry endpoint."""
+    parser = argparse.ArgumentParser(
+        prog="repro-scrape",
+        description="scrape a live daemon's metrics over its telemetry socket",
+    )
+    parser.add_argument(
+        "target", help="telemetry address: host:port or a Unix socket path"
+    )
+    mode = parser.add_mutually_exclusive_group()
+    mode.add_argument(
+        "--prom",
+        action="store_true",
+        help="Prometheus text exposition instead of the JSON snapshot",
+    )
+    mode.add_argument(
+        "--health",
+        action="store_true",
+        help="the health monitor's state document instead of metrics",
+    )
+    parser.add_argument(
+        "--out", metavar="PATH", default=None, help="write here, not stdout"
+    )
+    args = parser.parse_args(argv)
+
+    from repro.obs import telemetry
+
+    if args.prom:
+        text = telemetry.scrape(args.target, "prom")
+    elif args.health:
+        doc = telemetry.health(args.target)
+        text = json.dumps(doc, indent=2, sort_keys=True) + "\n"
+    else:
+        doc = telemetry.scrape(args.target)
+        text = json.dumps(doc, indent=2, sort_keys=True) + "\n"
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(text)
+    else:
+        sys.stdout.write(text)
+    return 0
+
+
+_SESSION_TALKER = re.compile(r"^server\.(s\d+)\.sender\.fragments$")
+
+
+def _render_fleet_panel(doc: dict, tick: int, alerts: list, target: str) -> str:
+    """The monitor_dashboard fleet panel, derived from a snapshot doc.
+
+    Works entirely from the ``repro.obs/1`` document a ``watch`` feed
+    reassembles, so it renders the same whether the daemon is in this
+    process or across the network.
+    """
+    from repro.obs import ECHO_GRID, merge_summaries
+
+    gauges = doc.get("gauges", {})
+    counters = doc.get("counters", {})
+    hists = doc.get("histograms", {})
+    lines = [f"repro top — {target} — tick {tick}"]
+
+    opened = gauges.get("daemon.sessions_open")
+    if opened is not None:
+        lines.append(
+            f"  fleet: {opened:g} open"
+            f" / {gauges.get('daemon.sessions_active', 0):g} active"
+            f" / {gauges.get('daemon.sessions_parked', 0):g} parked"
+            f"   spawned {counters.get('daemon.sessions_spawned', 0):g}"
+            f" reaped {counters.get('daemon.sessions_reaped', 0):g}"
+            f" exited {counters.get('daemon.sessions_exited', 0):g}"
+        )
+    else:
+        lines.append("  single-session endpoint (no fleet gauges)")
+
+    echo_summaries = [
+        summary
+        for name, summary in hists.items()
+        if name.startswith("keystroke.") and name.endswith("echo_ms")
+    ]
+    pooled = merge_summaries(echo_summaries, *ECHO_GRID)
+    if pooled.count:
+        lines.append(
+            f"  echo latency (pooled, {pooled.count} keystrokes): "
+            f"p50={pooled.p50:.0f} ms  p95={pooled.p95:.0f} ms  "
+            f"p99={pooled.p99:.0f} ms"
+        )
+    else:
+        lines.append("  echo latency: no settled keystrokes yet")
+
+    level = gauges.get("daemon.health.level")
+    if level is not None:
+        names = {0: "ok", 1: "warn", 2: "critical"}
+        breaches = sorted(
+            name[len("daemon.health."):]
+            for name, value in gauges.items()
+            if name.startswith("daemon.health.")
+            and name != "daemon.health.level"
+            and value
+        )
+        detail = f"  breaching: {', '.join(breaches)}" if breaches else ""
+        lines.append(
+            f"  health: {names.get(int(level), level)}{detail}"
+        )
+    lines.append(
+        "  integrity: "
+        f"{counters.get('crypto.auth_failures', 0):g} auth fail, "
+        f"{counters.get('crypto.replay_drops', 0):g} replay, "
+        f"{counters.get('network.framing_drops', 0):g} framing drops"
+    )
+
+    talkers = []
+    for name, value in counters.items():
+        m = _SESSION_TALKER.match(name)
+        if m and value:
+            sid = m.group(1)
+            talkers.append((value, sid))
+    talkers.sort(reverse=True)
+    if talkers:
+        lines.append("  top talkers:   id     datagrams   srtt_ms   idle_s")
+        for value, sid in talkers[:5]:
+            srtt = gauges.get(f"server.{sid}.network.srtt_ms", 0.0)
+            age = gauges.get(f"server.{sid}.last_heard_age_ms")
+            idle = f"{age / 1000.0:8.1f}" if age is not None and age >= 0 else "       -"
+            lines.append(
+                f"                 {sid:<6} {value:>9g}   {srtt:>7.1f} {idle}"
+            )
+    for event in alerts:
+        lines.append(
+            f"  ALERT {event['rule']}: {event['from']} -> {event['to']}"
+            f" (value {event['value']})"
+        )
+    return "\n".join(lines)
+
+
+def top_main(argv: list[str] | None = None) -> int:
+    """Attach to a live daemon's delta feed and render fleet panels."""
+    parser = argparse.ArgumentParser(
+        prog="repro-top",
+        description="live fleet panel over a daemon's telemetry delta feed",
+    )
+    parser.add_argument(
+        "target", help="telemetry address: host:port or a Unix socket path"
+    )
+    parser.add_argument(
+        "--ticks",
+        type=int,
+        default=0,
+        metavar="N",
+        help="exit after N feed ticks (default: run until interrupted)",
+    )
+    args = parser.parse_args(argv)
+
+    from repro.obs import apply_delta
+    from repro.obs import telemetry
+
+    doc: dict | None = None
+    ticks = 0
+    try:
+        for line in telemetry.watch(args.target):
+            alerts = line.get("alerts", [])
+            doc = apply_delta(doc, line)
+            ticks += 1
+            print(_render_fleet_panel(doc, ticks, alerts, args.target))
+            sys.stdout.flush()
+            if args.ticks and ticks >= args.ticks:
+                break
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """Umbrella entry point: ``repro <subcommand> [args...]``."""
     commands = {
@@ -295,15 +546,19 @@ def main(argv: list[str] | None = None) -> int:
         "client": client_main,
         "mosh": mosh_main,
         "demo": demo_main,
+        "scrape": scrape_main,
+        "top": top_main,
     }
     argv = sys.argv[1:] if argv is None else argv
     usage = (
-        "usage: repro {server|serve|client|mosh|demo} [args...]\n"
+        "usage: repro {server|serve|client|mosh|demo|scrape|top} [args...]\n"
         "  server  one-session SSP server (mosh-server equivalent)\n"
         "  serve   multi-session daemon: N sessions on one UDP port\n"
         "  client  interactive SSP client\n"
         "  mosh    bootstrap over SSH, then connect over SSP/UDP\n"
-        "  demo    localhost server+client smoke test"
+        "  demo    localhost server+client smoke test\n"
+        "  scrape  one-shot metrics/health scrape of a live daemon\n"
+        "  top     live fleet panel attached to a daemon's delta feed"
     )
     if not argv or argv[0] in ("-h", "--help"):
         print(usage)

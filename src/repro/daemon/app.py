@@ -25,6 +25,8 @@ from repro.daemon.manager import SessionManager, SessionRecord
 from repro.network.batch import RxBatcher, WireBatcher
 from repro.network.connection import MuxUdpConnection
 from repro.obs.flight import FlightRecorder
+from repro.obs.health import HealthMonitor, default_fleet_ruleset
+from repro.obs.telemetry import TelemetryServer
 from repro.runtime.reactor import RealReactor
 
 
@@ -43,6 +45,8 @@ class DaemonApp:
         flight: bool = False,
         flight_budget: int | None = None,
         wire_batch: bool = True,
+        telemetry: str | None = None,
+        health_rules=None,
     ) -> None:
         self.reactor = RealReactor()
         self.flight: FlightRecorder | None = None
@@ -106,6 +110,22 @@ class DaemonApp:
         self.reactor.add_reader(
             self.connection.fileno(), self.connection.receive_ready
         )
+        # The live telemetry plane. Health is always on (one 1 s timer
+        # and a handful of rules); the control socket only when asked.
+        self.health = HealthMonitor(
+            self.reactor.registry,
+            health_rules if health_rules is not None else default_fleet_ruleset(),
+            clock=self.reactor.now,
+        )
+        self.health.attach(self.reactor)
+        self.telemetry: TelemetryServer | None = None
+        if telemetry is not None:
+            self.telemetry = TelemetryServer(
+                self.reactor,
+                self.reactor.registry,
+                bind=telemetry,
+                health=self.health,
+            )
         self.running = False
         for _ in range(sessions):
             self.spawn()
@@ -177,6 +197,9 @@ class DaemonApp:
 
     def shutdown(self) -> None:
         self.running = False
+        self.health.detach()
+        if self.telemetry is not None:
+            self.telemetry.close()
         if self.rx_batcher is not None:
             # Drain anything still staged so the last tick's datagrams
             # leave before the socket closes.

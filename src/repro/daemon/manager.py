@@ -234,9 +234,23 @@ class SessionManager:
         self._records[cid] = record
         core.pump.on_park_change = self._make_park_tracker(cid)
         self._spawned.value += 1
+        # Live staleness gauge for remote dashboards (`repro top`): how
+        # long since this session last heard authentic traffic. Reads -1
+        # once the record is gone; respawning a conn id rebinds the fn.
+        prefix = "server" if label is None else f"server.{label}"
+        self._reactor.registry.gauge(
+            f"{prefix}.last_heard_age_ms",
+            fn=lambda cid=cid: self._last_heard_age(cid),
+        )
         self._arm_session_deadline(record)
         core.kick()
         return record
+
+    def _last_heard_age(self, conn_id: int) -> float:
+        record = self._records.get(conn_id)
+        if record is None:
+            return -1.0
+        return max(0.0, self._reactor.now() - record.last_heard())
 
     def _make_park_tracker(self, conn_id: int) -> Callable[[bool], None]:
         parked = self._parked

@@ -32,32 +32,59 @@ from repro.obs.flight import (
     load_flight_log,
     validate_flight_log,
 )
-from repro.obs.keystroke import KeystrokeLatencyTracker
+from repro.obs.health import (
+    HEALTH_SCHEMA,
+    HealthMonitor,
+    HealthRule,
+    default_fleet_ruleset,
+)
+from repro.obs.keystroke import ECHO_GRID, KeystrokeLatencyTracker
 from repro.obs.registry import (
+    DELTA_SCHEMA,
     SNAPSHOT_SCHEMA,
     Counter,
     Gauge,
     Histogram,
     MetricsRegistry,
+    SnapshotDelta,
+    apply_delta,
     enabled,
+    merge_summaries,
     set_enabled,
     validate_snapshot,
+)
+from repro.obs.telemetry import (
+    TelemetryServer,
+    attach_metrics_writer,
+    render_prometheus,
 )
 from repro.obs.trace import SpanTracer
 
 __all__ = [
+    "DELTA_SCHEMA",
+    "ECHO_GRID",
     "FLIGHT_SCHEMA",
+    "HEALTH_SCHEMA",
     "SNAPSHOT_SCHEMA",
     "Counter",
     "FlightRecorder",
     "Gauge",
+    "HealthMonitor",
+    "HealthRule",
     "Histogram",
     "KeystrokeLatencyTracker",
     "MetricsRegistry",
+    "SnapshotDelta",
     "SpanTracer",
+    "TelemetryServer",
+    "apply_delta",
+    "attach_metrics_writer",
+    "default_fleet_ruleset",
     "enabled",
     "load_flight_log",
+    "merge_summaries",
+    "render_prometheus",
     "set_enabled",
-    "validate_flight_log",
     "validate_snapshot",
+    "validate_flight_log",
 ]

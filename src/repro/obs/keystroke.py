@@ -24,6 +24,12 @@ from repro.obs.registry import Histogram, MetricsRegistry
 #: and a dead link simply ages the oldest stamps out of the window.
 PENDING_MAX = 4096
 
+#: The echo histogram's bucket grid as (low_ms, high_ms, buckets). 1 ms to
+#: 10 minutes covers LAN sessions through multi-minute outages. Pooling
+#: helpers (dashboard, ``repro top``, fleet bench) reconstruct summaries
+#: onto this grid, so it is part of the tracker's public contract.
+ECHO_GRID = (1.0, 600_000.0, 48)
+
 
 class KeystrokeLatencyTracker:
     """Stamps keystroke indices and resolves them against echo-acks."""
@@ -34,10 +40,11 @@ class KeystrokeLatencyTracker:
         name: str = "keystroke.echo_ms",
     ) -> None:
         registry = registry if registry is not None else MetricsRegistry()
-        #: Echo-response latency, milliseconds of reactor time. 1 ms to
-        #: 10 minutes covers LAN sessions through multi-minute outages.
+        low, high, buckets = ECHO_GRID
+        #: Echo-response latency, milliseconds of reactor time, on the
+        #: shared :data:`ECHO_GRID` bucket grid.
         self.histogram: Histogram = registry.histogram(
-            name, low=1.0, high=600_000.0, unit="ms"
+            name, low=low, high=high, buckets=buckets, unit="ms"
         )
         self.typed = registry.counter("keystroke.typed")
         self.settled = registry.counter("keystroke.settled")

@@ -24,12 +24,16 @@ from __future__ import annotations
 
 import math
 from bisect import bisect_right
-from typing import Callable
+from fnmatch import fnmatchcase
+from typing import Callable, Iterable
 
 from repro.errors import ObservabilityError
 
 #: Schema tag stamped into every snapshot; bump on breaking layout changes.
 SNAPSHOT_SCHEMA = "repro.obs/1"
+
+#: Schema tag for incremental feed documents (see :class:`SnapshotDelta`).
+DELTA_SCHEMA = "repro.obs.delta/1"
 
 _enabled = True
 
@@ -180,18 +184,47 @@ class Histogram:
         return self.percentile(99.0)
 
     def summary(self) -> dict:
-        """The snapshot form: counts, moments, and standard quantiles."""
+        """The snapshot form: counts, moments, and standard quantiles.
+
+        One pass over the counts serves all three quantiles and the
+        sparse bucket list — a changed histogram is re-summarized on
+        every delta-feed collect, so the 4x cumulative walk matters.
+        """
+        count = self.count
+        quantiles = [0.0, 0.0, 0.0]
+        targets = (
+            [math.ceil(count * 0.50), math.ceil(count * 0.95),
+             math.ceil(count * 0.99)]
+            if count
+            else []
+        )
+        buckets: list[list[float]] = []
+        bounds = self._bounds
+        nbounds = len(bounds)
+        seen = 0
+        qi = 0
+        for i, n in enumerate(self._counts):
+            if n == 0:
+                continue
+            seen += n
+            bound = bounds[i] if i < nbounds else math.inf
+            buckets.append(
+                [round(bound, 4) if bound != math.inf else "inf", n]
+            )
+            while qi < 3 and targets and seen >= targets[qi]:
+                quantiles[qi] = self._bucket_mid(i)
+                qi += 1
         return {
             "unit": self.unit,
-            "count": self.count,
+            "count": count,
             "sum": round(self.total, 3),
-            "min": round(self.min, 3) if self.count else 0.0,
+            "min": round(self.min, 3) if count else 0.0,
             "max": round(self.max, 3),
             "mean": round(self.mean, 3),
-            "p50": round(self.p50, 3),
-            "p95": round(self.p95, 3),
-            "p99": round(self.p99, 3),
-            "buckets": self.nonzero_buckets(),
+            "p50": round(quantiles[0], 3),
+            "p95": round(quantiles[1], 3),
+            "p99": round(quantiles[2], 3),
+            "buckets": buckets,
         }
 
     def nonzero_buckets(self) -> list[list[float]]:
@@ -205,6 +238,95 @@ class Histogram:
             )
             out.append([round(bound, 4) if bound != math.inf else "inf", n])
         return out
+
+    # -- pooling --------------------------------------------------------
+
+    def clone_empty(self, name: str | None = None) -> "Histogram":
+        """A zero-sample histogram on exactly this bucket grid.
+
+        Copies the precomputed bounds instead of re-deriving them from
+        ``(low, high, buckets)``, so a merge between the clone and the
+        original can compare grids by equality without float drift.
+        """
+        other = Histogram.__new__(Histogram)
+        other.name = name if name is not None else f"{self.name}.pooled"
+        other.unit = self.unit
+        other._bounds = list(self._bounds)
+        other._counts = [0] * len(self._counts)
+        other.count = 0
+        other.total = 0.0
+        other.min = math.inf
+        other.max = 0.0
+        return other
+
+    def merge(self, other: "Histogram") -> "Histogram":
+        """Fold ``other``'s samples into this histogram (same grid only).
+
+        The public replacement for reaching into ``_counts``: pooled fleet
+        quantiles come from merging the per-session histograms into one
+        and asking it for percentiles. Returns ``self`` for chaining.
+        """
+        if other._bounds != self._bounds:
+            raise ObservabilityError(
+                f"cannot merge {other.name!r} into {self.name!r}: "
+                "bucket grids differ"
+            )
+        if other.unit != self.unit:
+            raise ObservabilityError(
+                f"cannot merge {other.name!r} ({other.unit}) into "
+                f"{self.name!r} ({self.unit}): units differ"
+            )
+        if other.count == 0:
+            return self
+        counts = self._counts
+        for i, n in enumerate(other._counts):
+            if n:
+                counts[i] += n
+        self.count += other.count
+        self.total += other.total
+        if other.min < self.min:
+            self.min = other.min
+        if other.max > self.max:
+            self.max = other.max
+        return self
+
+    @classmethod
+    def from_summary(
+        cls,
+        summary: dict,
+        low: float,
+        high: float,
+        buckets: int = 48,
+        name: str = "from_summary",
+    ) -> "Histogram":
+        """Rebuild a histogram from its :meth:`summary` dict.
+
+        The caller supplies the bucket grid parameters (a summary does
+        not carry them); sparse bucket bounds are matched back onto the
+        grid by nearest value, tolerating the 4-decimal rounding that
+        :meth:`nonzero_buckets` applies. Lets snapshot *documents* — not
+        just live instruments — be pooled, which is what a remote
+        dashboard attached over the telemetry socket works from.
+        """
+        hist = cls(name, low, high, buckets, unit=summary.get("unit", "ms"))
+        rounded = [round(b, 4) for b in hist._bounds]
+        for bound, n in summary.get("buckets", []):
+            if bound == "inf":
+                index = len(hist._bounds)
+            else:
+                index = bisect_right(rounded, float(bound)) - 1
+                if index < 0 or abs(rounded[index] - float(bound)) > 1e-4:
+                    raise ObservabilityError(
+                        f"summary bucket bound {bound} not on the "
+                        f"[{low}, {high}]x{buckets} grid"
+                    )
+            hist._counts[index] += int(n)
+        hist.count = int(summary.get("count", 0))
+        hist.total = float(summary.get("sum", 0.0))
+        if hist.count:
+            hist.min = float(summary.get("min", 0.0))
+            hist.max = float(summary.get("max", 0.0))
+        return hist
 
 
 class MetricsRegistry:
@@ -282,6 +404,35 @@ class MetricsRegistry:
         """Sorted instrument names (tests and dashboards)."""
         return sorted(self._instruments)
 
+    def match(self, pattern: str) -> list[str]:
+        """Sorted instrument names matching a glob ``pattern``."""
+        return sorted(
+            name for name in self._instruments if fnmatchcase(name, pattern)
+        )
+
+    def pool_histograms(
+        self, names: str | Iterable[str], name: str = "pooled"
+    ) -> Histogram | None:
+        """Merge same-grid histograms into one (a glob pattern or names).
+
+        Returns a fresh pooled :class:`Histogram` — the registry's own
+        instruments are untouched — or ``None`` when nothing matched.
+        Zero-sample members cost one attribute check each, so pooling a
+        fleet-wide pattern stays cheap when only a few sessions are hot.
+        """
+        if isinstance(names, str):
+            names = self.match(names)
+        base: Histogram | None = None
+        for key in names:
+            inst = self._instruments.get(key)
+            if not isinstance(inst, Histogram):
+                continue
+            if base is None:
+                base = inst.clone_empty(name)
+            if inst.count:
+                base.merge(inst)
+        return base
+
     # -- rendering ------------------------------------------------------
 
     def snapshot(self) -> dict:
@@ -344,3 +495,135 @@ def validate_snapshot(doc: object) -> None:
             )
         if not isinstance(summary["buckets"], list):
             raise ObservabilityError(f"histograms[{name!r}].buckets not a list")
+
+
+def merge_summaries(
+    summaries: Iterable[dict],
+    low: float,
+    high: float,
+    buckets: int = 48,
+    name: str = "pooled",
+) -> Histogram:
+    """Pool histogram *summary dicts* (one bucket grid) into a Histogram.
+
+    The document-level sibling of :meth:`MetricsRegistry.pool_histograms`:
+    dashboards that only hold a snapshot JSON — not live instruments —
+    reconstruct each summary onto the shared grid and merge. An empty
+    iterable yields an empty histogram.
+    """
+    pooled: Histogram | None = None
+    for summary in summaries:
+        hist = Histogram.from_summary(summary, low, high, buckets)
+        if pooled is None:
+            pooled = hist
+            pooled.name = name
+        else:
+            pooled.merge(hist)
+    if pooled is None:
+        pooled = Histogram(name, low, high, buckets)
+    return pooled
+
+
+class SnapshotDelta:
+    """Tracks what a feed subscriber has seen; emits only the changes.
+
+    ``prime()`` returns a full snapshot and records its values;
+    each subsequent ``collect()`` returns a ``repro.obs.delta/1``
+    document holding *absolute* values for just the instruments that
+    changed since the previous call — or ``None`` when nothing moved.
+    Change detection is per instrument (counters and gauges by value,
+    histograms by sample count), so an idle 10k-session fleet costs one
+    comparison per instrument per tick and ships nothing.
+    """
+
+    def __init__(self, registry: MetricsRegistry) -> None:
+        self._registry = registry
+        self._counters: dict[str, float] = {}
+        self._gauges: dict[str, float] = {}
+        self._hist_counts: dict[str, int] = {}
+        self.seq = 0
+
+    def prime(self) -> dict:
+        """Full snapshot; resets the baseline this delta diffs against."""
+        doc = self._registry.snapshot()
+        self._counters = dict(doc["counters"])
+        self._gauges = dict(doc["gauges"])
+        self._hist_counts = {
+            name: summary["count"]
+            for name, summary in doc["histograms"].items()
+        }
+        self.seq = 0
+        return doc
+
+    def collect(self) -> dict | None:
+        """The changed instruments since last time, or None if quiet."""
+        counters: dict[str, float] = {}
+        gauges: dict[str, float] = {}
+        histograms: dict[str, dict] = {}
+        seen_c, seen_g, seen_h = self._counters, self._gauges, self._hist_counts
+        # Insertion-order iteration: registration order is deterministic,
+        # and skipping the sort keeps a quiet collect at one dict walk —
+        # this runs once per second per subscriber on a live daemon.
+        for name, inst in self._registry._instruments.items():
+            if isinstance(inst, Counter):
+                value = inst.value
+                if seen_c.get(name) != value:
+                    counters[name] = seen_c[name] = value
+            elif isinstance(inst, Gauge):
+                # Same rounding as snapshot(), so a reassembled document
+                # compares equal to a snapshot taken at the same instant.
+                value = round(inst.value, 4)
+                if seen_g.get(name) != value:
+                    gauges[name] = seen_g[name] = value
+            else:
+                count = inst.count
+                if seen_h.get(name) != count:
+                    seen_h[name] = count
+                    histograms[name] = inst.summary()
+        if not (counters or gauges or histograms):
+            return None
+        self.seq += 1
+        return {
+            "schema": DELTA_SCHEMA,
+            "seq": self.seq,
+            "counters": counters,
+            "gauges": gauges,
+            "histograms": histograms,
+        }
+
+
+def apply_delta(base: dict | None, doc: dict) -> dict:
+    """Merge a feed line onto ``base``, returning the updated snapshot.
+
+    Accepts either a full ``repro.obs/1`` snapshot (which replaces the
+    base — the first line of a ``watch`` stream) or a ``repro.obs.delta/1``
+    document (whose sections overwrite matching names). Non-metric keys
+    riding on a delta line (``alerts``, ``at_ms``) are ignored here. The
+    result always validates as a plain snapshot.
+    """
+    if not isinstance(doc, dict):
+        raise ObservabilityError("feed line must be a JSON object")
+    schema = doc.get("schema")
+    if schema == SNAPSHOT_SCHEMA:
+        validate_snapshot(doc)
+        return {
+            "schema": SNAPSHOT_SCHEMA,
+            "counters": dict(doc["counters"]),
+            "gauges": dict(doc["gauges"]),
+            "histograms": {k: dict(v) for k, v in doc["histograms"].items()},
+        }
+    if schema != DELTA_SCHEMA:
+        raise ObservabilityError(
+            f"feed line schema {schema!r} is neither "
+            f"{SNAPSHOT_SCHEMA!r} nor {DELTA_SCHEMA!r}"
+        )
+    merged = {
+        "schema": SNAPSHOT_SCHEMA,
+        "counters": dict(base["counters"]) if base else {},
+        "gauges": dict(base["gauges"]) if base else {},
+        "histograms": dict(base["histograms"]) if base else {},
+    }
+    merged["counters"].update(doc.get("counters", {}))
+    merged["gauges"].update(doc.get("gauges", {}))
+    merged["histograms"].update(doc.get("histograms", {}))
+    return merged

@@ -104,6 +104,7 @@ class TransportPump:
         #: (``on_datagram`` chains into :meth:`kick`) or on any local
         #: activity (host writes and keystrokes kick directly).
         self.parked = False
+        self._parked_since: float | None = None
         #: Park-transition hook: called with the new parked state; the
         #: session manager counts fleet-wide parked/active gauges here.
         self.on_park_change: Callable[[bool], None] | None = None
@@ -174,6 +175,19 @@ class TransportPump:
             for _, name in _SENDER_COUNTERS
         )
         self._tick_span_name = f"{role}.tick"
+        # Fleet-wide (unprefixed) park-transition counters. The split
+        # between plain wakes and *dormant* wakes is what lets a health
+        # rule tell a mass-reconnect storm (sessions parked for tens of
+        # seconds all stampeding back) from a flash crowd of new
+        # sessions, whose pre-connect parks last well under a second.
+        self._parks = registry.counter("pump.parks")
+        self._wakes = registry.counter("pump.wakes")
+        self._dormant_wakes = registry.counter("pump.dormant_wakes")
+        # Wire-integrity bridge: framing drops live on the endpoint (it
+        # has no registry in scope); surface them fleet-wide so burn-rate
+        # health rules can alert on tampering without a snapshot walk.
+        self._framing_drops = registry.counter("network.framing_drops")
+        self._framing_seen = endpoint.framing_drops
 
     def kick(self) -> None:
         """Tick the transport now and re-arm from its next deadline."""
@@ -205,6 +219,10 @@ class TransportPump:
             metrics.auth_failures += crypto[4] - seen[4]
             metrics.replay_drops += crypto[5] - seen[5]
             self._crypto_seen = crypto
+        drops = self._transport.endpoint.framing_drops
+        if drops != self._framing_seen:
+            self._framing_drops.inc(drops - self._framing_seen)
+            self._framing_seen = drops
         # Same delta treatment for the sender's pacing counters.
         sender = self._transport.sender
         seen = self._sender_seen
@@ -266,5 +284,17 @@ class TransportPump:
         if parked == self.parked:
             return
         self.parked = parked
+        now = self._reactor.now()
+        if parked:
+            self._parks.inc()
+            self._parked_since = now
+        else:
+            self._wakes.inc()
+            if (
+                self._parked_since is not None
+                and now - self._parked_since >= DORMANT_AFTER_MS
+            ):
+                self._dormant_wakes.inc()
+            self._parked_since = None
         if self.on_park_change is not None:
             self.on_park_change(parked)

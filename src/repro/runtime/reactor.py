@@ -295,6 +295,10 @@ class RealReactor(Reactor):
         self._live: set[int] = set()
         self._readers: dict[int, Callback] = {}
         self._flush_hooks: list[Callable[[], int]] = []
+        #: How far past the earliest timer deadline the loop woke this
+        #: iteration: the live "is the select loop keeping up" signal the
+        #: health monitor alerts on (a loaded loop wakes later and later).
+        self._tick_lag = self.registry.gauge("reactor.tick_lag_ms")
 
     def now(self) -> float:
         """Current wall-clock time in milliseconds (monotonic)."""
@@ -392,6 +396,10 @@ class RealReactor(Reactor):
             if callback is not None:
                 self.metrics.io_events += 1
                 callback()
+        if deadline is not None:
+            self._tick_lag.set(max(0.0, self.now() - deadline))
+        else:
+            self._tick_lag.set(0.0)
         self._fire_due()
         if self._flush_hooks:
             # Wire-batch drain: everything queued by this iteration's I/O

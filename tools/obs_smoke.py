@@ -18,7 +18,15 @@ over a lossy link, then:
   lifecycle appears in the trace, and
 * stands up a session daemon with 8 concurrent clients muxed on one
   simulated port and validates the per-session (labelled) metrics
-  snapshot (``--daemon-metrics``).
+  snapshot (``--daemon-metrics``), and
+* exercises the live telemetry plane: a simulated daemon's delta feed
+  must reassemble (via ``apply_delta``) into exactly the registry's
+  final snapshot, the Prometheus exposition is written as an artifact
+  (``--telemetry-prom``), a synthetic auth-failure burst must drive the
+  health monitor through warn/critical and back with alert events
+  (``--health-json``), and — on POSIX hosts — a real ``DaemonApp``
+  serves its control socket to a client thread running ``scrape``,
+  ``health``, and ``repro top --ticks 2`` end to end.
 
 CI runs this every build and uploads the files as artifacts; exit
 status is nonzero on any violated check, so the pipeline fails loudly
@@ -43,8 +51,16 @@ ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 sys.path.insert(0, os.path.join(ROOT, "src"))
 
 from repro.analysis.flight import analyze, check as flight_check  # noqa: E402
+from repro.obs import (  # noqa: E402
+    HEALTH_SCHEMA,
+    HealthMonitor,
+    SnapshotDelta,
+    apply_delta,
+    default_fleet_ruleset,
+    render_prometheus,
+)
 from repro.obs.flight import load_flight_log  # noqa: E402
-from repro.obs.registry import validate_snapshot  # noqa: E402
+from repro.obs.registry import MetricsRegistry, validate_snapshot  # noqa: E402
 from repro.session.inprocess import InProcessSession  # noqa: E402
 from repro.simnet.link import LinkConfig  # noqa: E402
 
@@ -197,6 +213,233 @@ def daemon_stage(args) -> list[str]:
     return failures
 
 
+def telemetry_stage(args) -> list[str]:
+    """Delta feed, Prometheus exposition, health alerts, live socket."""
+    failures: list[str] = []
+    failures.extend(_telemetry_feed_checks(args))
+    failures.extend(_telemetry_health_checks(args))
+    if os.name == "posix":
+        failures.extend(_telemetry_live_checks())
+    else:  # pragma: no cover - CI is POSIX
+        print("  telemetry: skipping live control-socket stage (non-POSIX)")
+    return failures
+
+
+def _telemetry_feed_checks(args) -> list[str]:
+    """A watch subscriber's view must converge to the live registry."""
+    from repro.session.inprocess import InProcessDaemon
+
+    failures: list[str] = []
+    daemon = InProcessDaemon(
+        LinkConfig(delay_ms=20.0),
+        LinkConfig(delay_ms=20.0),
+        sessions=4,
+        width=40,
+        height=8,
+        seed=23,
+    )
+    daemon.connect(warmup_ms=1500.0)
+    delta = SnapshotDelta(daemon.reactor.registry)
+    view = apply_delta(None, json.loads(json.dumps(delta.prime())))
+    lines = 0
+    for cid in daemon.conn_ids:
+        for ch in f"watch {cid}\n".encode():
+            daemon.client(cid).type_bytes(bytes([ch]))
+        daemon.run_for(250.0)
+        doc = delta.collect()
+        if doc is not None:
+            # Every feed line must survive the JSONL round-trip.
+            view = apply_delta(view, json.loads(json.dumps(doc)))
+            lines += 1
+    daemon.run_for(4000.0)  # quiesce: retransmissions and acks settle
+    final = delta.collect()
+    if final is not None:
+        view = apply_delta(view, json.loads(json.dumps(final)))
+        lines += 1
+    validate_snapshot(view)
+    snap = daemon.metrics_snapshot()
+    if lines == 0:
+        failures.append("telemetry: delta feed shipped nothing while typing")
+    if view != snap:
+        diff = {
+            section: sorted(
+                set(view[section].items()) ^ set(snap[section].items())
+            )
+            for section in ("counters", "gauges")
+            if view[section] != snap[section]
+        }
+        hist_diff = [
+            name
+            for name in set(view["histograms"]) | set(snap["histograms"])
+            if view["histograms"].get(name) != snap["histograms"].get(name)
+        ]
+        failures.append(
+            "telemetry: reassembled delta feed differs from the live "
+            f"snapshot (scalars: {diff}, histograms: {hist_diff})"
+        )
+
+    prom = render_prometheus(snap)
+    with open(args.telemetry_prom, "w", encoding="utf-8") as fh:
+        fh.write(prom)
+    prom_lines = prom.splitlines()
+    inf_buckets = sum(1 for ln in prom_lines if 'le="+Inf"' in ln)
+    if inf_buckets != len(snap["histograms"]):
+        failures.append(
+            f"telemetry: {inf_buckets} +Inf bucket series for "
+            f"{len(snap['histograms'])} histograms in the exposition"
+        )
+    for probe in (
+        'repro_daemon_sessions_open{name="daemon.sessions_open"}',
+        "# TYPE repro_daemon_datagrams_routed counter",
+    ):
+        if not any(probe in ln for ln in prom_lines):
+            failures.append(f"telemetry: exposition lacks {probe!r}")
+    print(
+        f"  telemetry: {lines} delta lines reassembled into the live "
+        f"snapshot, {len(prom_lines)} exposition lines -> "
+        f"{args.telemetry_prom}"
+    )
+    return failures
+
+
+def _telemetry_health_checks(args) -> list[str]:
+    """A synthetic auth-failure burst must alert, then clear."""
+    failures: list[str] = []
+    registry = MetricsRegistry()
+    auth = registry.counter("crypto.auth_failures")
+    clock = [0.0]
+    monitor = HealthMonitor(
+        registry, default_fleet_ruleset(), clock=lambda: clock[0]
+    )
+
+    def tick(times: int = 1) -> None:
+        for _ in range(times):
+            clock[0] += 1000.0
+            monitor.evaluate()
+
+    tick(3)
+    if monitor.level != "ok":
+        failures.append(f"health: quiet registry reports {monitor.level!r}")
+    for _ in range(3):  # sustained burst: 50 failures/s for 3 eval windows
+        auth.inc(50)
+        tick()
+    if monitor.level != "critical":
+        failures.append(
+            f"health: auth burst escalated to {monitor.level!r}, "
+            "expected 'critical'"
+        )
+    tick(5)  # quiet again: clear_ticks=3 brings it back
+    if monitor.level != "ok":
+        failures.append(
+            f"health: monitor stuck at {monitor.level!r} after recovery"
+        )
+    transitions = [
+        (event["rule"], event["from"], event["to"])
+        for event in monitor.alerts_since(0)
+    ]
+    if ("auth_burn", "ok", "critical") not in transitions or (
+        "auth_burn",
+        "critical",
+        "ok",
+    ) not in transitions:
+        failures.append(
+            f"health: alert ring lacks the burst round-trip: {transitions}"
+        )
+
+    state = monitor.state()
+    if state.get("schema") != HEALTH_SCHEMA:
+        failures.append(f"health: state schema is {state.get('schema')!r}")
+    with open(args.health_json, "w", encoding="utf-8") as fh:
+        json.dump(state, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(
+        f"  health: auth burst tripped {len(transitions)} transitions, "
+        f"state -> {args.health_json}"
+    )
+    return failures
+
+
+def _telemetry_live_checks() -> list[str]:
+    """A real daemon serves scrape/health/top over its control socket."""
+    import contextlib
+    import io
+    import threading
+    import time
+
+    from repro import cli
+    from repro.daemon.app import DaemonApp
+    from repro.obs import telemetry
+
+    failures: list[str] = []
+    app = DaemonApp(
+        argv=["/bin/cat"],
+        bind_host="127.0.0.1",
+        sessions=2,
+        telemetry="127.0.0.1:0",
+    )
+    target = app.telemetry.address
+    results: dict[str, object] = {}
+
+    def worker() -> None:
+        try:
+            results["scrape"] = telemetry.scrape(target)
+            results["prom"] = telemetry.scrape(target, mode="prom")
+            results["health"] = telemetry.health(target)
+            out = io.StringIO()
+            with contextlib.redirect_stdout(out):
+                cli.top_main([target, "--ticks", "2"])
+            results["top"] = out.getvalue()
+        except Exception as exc:  # surfaced as a stage failure below
+            results["error"] = repr(exc)
+
+    thread = threading.Thread(target=worker, daemon=True)
+    thread.start()
+    deadline = time.monotonic() + 30.0
+    while thread.is_alive() and time.monotonic() < deadline:
+        app.step(20.0)
+    thread.join(1.0)
+    app.shutdown()
+
+    if thread.is_alive():
+        failures.append("telemetry live: client thread never finished")
+    if "error" in results:
+        failures.append(f"telemetry live: client raised {results['error']}")
+    scrape_doc = results.get("scrape")
+    if isinstance(scrape_doc, dict):
+        validate_snapshot(scrape_doc)
+        if scrape_doc["gauges"].get("daemon.sessions_open") != 2.0:
+            failures.append(
+                "telemetry live: scrape shows "
+                f"{scrape_doc['gauges'].get('daemon.sessions_open')} "
+                "sessions open, expected 2"
+            )
+    elif "error" not in results:
+        failures.append("telemetry live: scrape returned no snapshot")
+    prom = results.get("prom")
+    if isinstance(prom, str) and "# TYPE repro_daemon_sessions_open gauge" not in prom:
+        failures.append("telemetry live: prom scrape lacks the fleet gauge")
+    health_doc = results.get("health")
+    if isinstance(health_doc, dict) and health_doc.get("schema") != HEALTH_SCHEMA:
+        failures.append(
+            f"telemetry live: health schema {health_doc.get('schema')!r}"
+        )
+    top_out = results.get("top")
+    if isinstance(top_out, str):
+        for needle in ("fleet:", "health:", "integrity:"):
+            if needle not in top_out:
+                failures.append(
+                    f"telemetry live: top output lacks {needle!r} panel line"
+                )
+    elif "error" not in results:
+        failures.append("telemetry live: top rendered nothing")
+    if not failures:
+        print(
+            f"  telemetry live: scrape/health/top served on {target} "
+            "against a 2-session daemon"
+        )
+    return failures
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--trace", default="trace.json", metavar="PATH")
@@ -212,6 +455,12 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "--daemon-metrics", default="daemon-metrics.json", metavar="PATH"
+    )
+    parser.add_argument(
+        "--telemetry-prom", default="telemetry.prom", metavar="PATH"
+    )
+    parser.add_argument(
+        "--health-json", default="health.json", metavar="PATH"
     )
     args = parser.parse_args(argv)
 
@@ -229,6 +478,7 @@ def main(argv: list[str] | None = None) -> int:
     failures = check(session, doc)
     failures.extend(flight_stage(session, args))
     failures.extend(daemon_stage(args))
+    failures.extend(telemetry_stage(args))
     ks = doc["histograms"]["keystroke.echo_ms"]
     print(
         f"observability smoke: {events} trace events -> {args.trace}, "
