@@ -124,18 +124,21 @@ def bench_obs_span(iters: int) -> float:
 # ----------------------------------------------------------------------
 
 
-def _typing_session_walltime(flight: bool = True) -> float:
+def _typing_session_walltime(flight: bool = True, causal: bool = True) -> float:
     """Wall seconds to type 60 echoed keystrokes through a simulation.
 
     ``flight=False`` detaches the wire-level flight recorders (and the
     link observers feeding them), isolating their cost for the dedicated
-    overhead scenario.
+    overhead scenario; ``causal=False`` builds the client without a
+    :class:`~repro.obs.causal.CausalTracer`, isolating the per-keystroke
+    stage-attribution cost the same way.
     """
     session = InProcessSession(
         LinkConfig(delay_ms=20.0),
         LinkConfig(delay_ms=20.0),
         seed=0,
         preference=DisplayPreference.ALWAYS,
+        causal=causal,
     )
     if not flight:
         session.client_endpoint.flight = None
@@ -297,6 +300,20 @@ def bench_flight_overhead_pct(quick: bool) -> float:
     )
 
 
+def bench_causal_overhead_pct(quick: bool) -> float:
+    """Percent added by per-keystroke causal tracing, instrumentation on.
+
+    Both arms run with the observability switch enabled; the B arm
+    constructs the client without a causal tracer, so the difference is
+    purely the stamp/send/recv/settle bookkeeping plus the seven stage
+    histogram records per settled keystroke.
+    """
+    set_enabled(True)
+    return _paired_overhead_pct(
+        lambda on: _typing_session_walltime(causal=on), repeats=6 if quick else 8
+    )
+
+
 # ----------------------------------------------------------------------
 # Seal/unseal latency distributions
 # ----------------------------------------------------------------------
@@ -339,6 +356,7 @@ OVERHEAD_SCENARIOS = {
     "seal_overhead_pct": bench_seal_overhead_pct,
     "flight_overhead_pct": bench_flight_overhead_pct,
     "telemetry_overhead_pct": bench_telemetry_overhead_pct,
+    "causal_overhead_pct": bench_causal_overhead_pct,
 }
 
 

@@ -103,6 +103,27 @@ def main() -> None:
     for line in render_histogram(ks):
         print(line)
 
+    # Causal attribution: the same echo latency, split across the
+    # pipeline stages it crossed — live, from the client's own tracer.
+    from repro.obs import pool_stage_summaries, render_waterfall
+
+    pooled = pool_stage_summaries(doc)
+    print("\nwhere the time went (live causal attribution):")
+    for line in render_waterfall(pooled):
+        print(line)
+    exemplars = session.client.causal.exemplars()
+    if exemplars:
+        worst = exemplars[0]
+        breakdown = "  ".join(
+            f"{name}={value:.0f}"
+            for name, value in worst["stages"].items()
+            if value >= 0.5
+        )
+        print(
+            f"   slowest keystroke: #{worst['index']} "
+            f"({worst['echo_ms']:.0f} ms: {breakdown})"
+        )
+
     seal = hists["client.crypto.seal_us"]
     unseal = hists["client.crypto.unseal_us"]
     print("\ncrypto cost (client side, AES-128-OCB):")

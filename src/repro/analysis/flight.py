@@ -41,6 +41,7 @@ from dataclasses import dataclass, field
 
 from repro.analysis.stats import mean, percentile
 from repro.errors import ObservabilityError
+from repro.obs.clocksync import estimate_offset
 from repro.obs.flight import (
     DIR_C2S,
     DIR_S2C,
@@ -209,11 +210,12 @@ def _clock_offset(
     for record in records:
         if record.send_t is not None and record.recv_t is not None:
             deltas[record.direction].append(record.recv_t - record.send_t)
-    if not deltas[DIR_C2S] or not deltas[DIR_S2C]:
-        return 0.0  # one-sided traffic; no basis for an estimate
-    # The fastest packet each way is assumed to have seen the symmetric
-    # minimum path delay; the residual asymmetry is the clock offset.
-    return (min(deltas[DIR_C2S]) - min(deltas[DIR_S2C])) / 2.0
+    # The shared NTP-style estimator (repro.obs.clocksync): the fastest
+    # packet each way is assumed to have seen the symmetric minimum path
+    # delay, so the residual asymmetry is the clock offset. One-sided
+    # traffic has no basis for an estimate; fall back to zero.
+    offset = estimate_offset(deltas[DIR_C2S], deltas[DIR_S2C])
+    return 0.0 if offset is None else offset
 
 
 # ----------------------------------------------------------------------
@@ -322,6 +324,79 @@ def _convergence(events: list[dict]) -> list[float]:
     return latencies
 
 
+def _stage_partition(records: list[PacketRecord], offset: float) -> dict:
+    """Offline echo-path stage decomposition from the merged timeline.
+
+    The flight-log counterpart of the live causal tracer's wire/server
+    stages (:mod:`repro.obs.causal`), reconstructed from ground truth
+    instead of timestamp echoes so the two can cross-check:
+
+    * each client state N starts its chain at the first **delivered**
+      c2s send carrying it (``new == N``, ``dlen > 0``);
+    * the server receive of that datagram ends ``wire_c2s``;
+    * the first delivered s2c diff sent at-or-after it whose ``ack``
+      covers N ends ``server_apply`` (apply + host echo + diff/compose +
+      pacing — everything server-side *except* the echo-ack hold, which
+      only elapses after that first reply);
+    * its client receive ends ``wire_s2c``.
+
+    Server-clock boundaries are mapped onto the client axis with the
+    NTP offset, so the wire stages are directly comparable to the live
+    ``causal.wire_*`` histograms, and the live lumped ``server_echo``
+    decomposes as ``server_apply`` plus the server's echo-ack hold
+    (tracked live as ``{role}.causal.echo_wait_ms``) — the identity the
+    cross-check tests assert. Chains whose settling diff never arrived
+    are skipped (their stages are unbounded, not zero).
+    """
+    chains: dict[int, tuple[float, float]] = {}
+    order: list[int] = []
+    for record in records:
+        if (
+            record.direction == DIR_C2S
+            and record.fate == "delivered"
+            and record.meta.get("dlen", 0) > 0
+            and "new" in record.meta
+            and record.meta["new"] not in chains
+        ):
+            chains[record.meta["new"]] = (record.send_t, record.recv_t)
+            order.append(record.meta["new"])
+    replies = sorted(
+        (
+            r
+            for r in records
+            if r.direction == DIR_S2C
+            and r.fate == "delivered"
+            and r.meta.get("dlen", 0) > 0
+            and "ack" in r.meta
+        ),
+        key=lambda r: r.send_t,
+    )
+    wire_c2s: list[float] = []
+    server_apply: list[float] = []
+    wire_s2c: list[float] = []
+    for num in order:
+        t_sent, t_srv_recv = chains[num]
+        settle = next(
+            (
+                r
+                for r in replies
+                if r.meta["ack"] >= num and r.send_t >= t_srv_recv
+            ),
+            None,
+        )
+        if settle is None:
+            continue
+        wire_c2s.append((t_srv_recv - offset) - t_sent)
+        server_apply.append(settle.send_t - t_srv_recv)
+        wire_s2c.append(settle.recv_t - (settle.send_t - offset))
+    return {
+        "chains": len(wire_c2s),
+        "wire_c2s_ms": _summarize(wire_c2s),
+        "server_apply_ms": _summarize(server_apply),
+        "wire_s2c_ms": _summarize(wire_s2c),
+    }
+
+
 def _anomalies(role: str, events: list[dict]) -> list[dict]:
     """Heartbeat-gap and seq-regression flags from one endpoint's log."""
     out: list[dict] = []
@@ -376,6 +451,7 @@ def analyze(
             "client": _summarize(_convergence(client_events)),
             "server": _summarize(_convergence(server_events)),
         },
+        "stages": _stage_partition(records, offset),
         "anomalies": (
             _anomalies("client", client_events)
             + _anomalies("server", server_events)
@@ -460,6 +536,18 @@ def render_report(report: dict) -> str:
                 f"  {role} convergence ms: mean {conv['mean']}  "
                 f"p95 {conv['p95']}  max {conv['max']}  "
                 f"({conv['count']} instructions)"
+            )
+    stages = report.get("stages")
+    if stages and stages.get("chains"):
+        lines.append(
+            f"  echo-path stages ({stages['chains']} chains, "
+            "client-clock ms):"
+        )
+        for name in ("wire_c2s_ms", "server_apply_ms", "wire_s2c_ms"):
+            s = stages[name]
+            lines.append(
+                f"    {name[:-3]:<12} min {s['min']}  mean {s['mean']}  "
+                f"p95 {s['p95']}  max {s['max']}"
             )
     if report["anomalies"]:
         lines.append(f"  anomalies ({len(report['anomalies'])}):")

@@ -76,6 +76,11 @@ class ClientApp:
             height,
             preference=preference,
             heartbeat_ms=_HEARTBEAT_MS,
+            # Live stage attribution. Two real processes have two real
+            # clocks, so the wire split leans on the streaming offset
+            # estimator rather than the simulator's shared-clock pin.
+            causal=True,
+            shared_clock=False,
         )
         self.transport = self.core.transport
         self.predictor = self.core.predictor

@@ -9,10 +9,11 @@
 * ``repro-mosh-demo`` — run a self-contained server+client pair on
   localhost, type a command, show the synchronized screen, and exit.
   Useful as a smoke test of the real-UDP/pty path.
-* ``repro scrape <target>`` / ``repro top <target>`` — attach to a live
-  server/daemon's telemetry socket (``--telemetry``): one-shot snapshot
-  scrape (JSON, Prometheus, or health), or a live fleet panel fed by the
-  JSONL delta stream.
+* ``repro scrape <target>`` / ``repro top <target>`` /
+  ``repro trace --attach <target>`` — attach to a live server/daemon's
+  telemetry socket (``--telemetry``): one-shot snapshot scrape (JSON,
+  Prometheus, or health), a live fleet panel fed by the JSONL delta
+  stream, or a live per-keystroke causal stage waterfall.
 * ``repro <subcommand>`` — umbrella entry point for all of the above
   (``repro serve``, ``repro client``, ...).
 """
@@ -501,6 +502,112 @@ def _render_fleet_panel(doc: dict, tick: int, alerts: list, target: str) -> str:
     return "\n".join(lines)
 
 
+def _render_stage_waterfall(doc: dict, tick: int, target: str) -> str:
+    """Live causal stage panel from a ``repro.obs/1`` snapshot document.
+
+    Pools every session's ``causal.<stage>_ms`` histograms onto one
+    waterfall (the attach side of :mod:`repro.obs.causal`); adds the
+    daemon-resident ``echo_wait`` view and the tracer health gauges so
+    the panel degrades usefully when the snapshot has only server cores.
+    """
+    from repro.obs.causal import (
+        pool_server_echo_wait,
+        pool_stage_summaries,
+        render_waterfall,
+    )
+
+    gauges = doc.get("gauges", {})
+    counters = doc.get("counters", {})
+    pooled = pool_stage_summaries(doc)
+    chains = sum(
+        value
+        for name, value in counters.items()
+        if name == "causal.chains"
+        or (name.startswith("causal.") and name.endswith(".chains"))
+    )
+    unmatched = sum(
+        value
+        for name, value in counters.items()
+        if name == "causal.unmatched"
+        or (name.startswith("causal.") and name.endswith(".unmatched"))
+    )
+    lines = [f"repro trace — {target} — tick {tick}"]
+    if chains or any(pooled[stage].count for stage in pooled):
+        total = sum(pooled[stage].mean for stage in pooled)
+        lines.append(
+            f"  {chains:g} chains attributed"
+            f" ({unmatched:g} unmatched) — mean echo {total:.1f} ms"
+        )
+        lines.extend(render_waterfall(pooled))
+    else:
+        lines.append(
+            "  no client-side causal chains in this snapshot "
+            "(daemon cores only?)"
+        )
+    echo_wait = pool_server_echo_wait(doc)
+    if echo_wait.count:
+        lines.append(
+            f"  server echo-ack hold ({echo_wait.count:g} inputs): "
+            f"mean {echo_wait.mean:.1f} ms  p95 {echo_wait.p95:.1f} ms"
+        )
+    pending = sum(
+        value
+        for name, value in gauges.items()
+        if name.endswith(".causal.pending")
+    )
+    exemplars = sum(
+        value
+        for name, value in gauges.items()
+        if name.endswith(".causal.exemplars")
+    )
+    if pending or exemplars:
+        lines.append(
+            f"  tracer: {pending:g} pending chains, "
+            f"{exemplars:g} tail exemplars retained"
+        )
+    return "\n".join(lines)
+
+
+def trace_main(argv: list[str] | None = None) -> int:
+    """Live per-keystroke stage waterfall against a running daemon."""
+    parser = argparse.ArgumentParser(
+        prog="repro-trace",
+        description="live causal stage waterfall over a daemon's "
+        "telemetry delta feed",
+    )
+    parser.add_argument(
+        "--attach",
+        required=True,
+        metavar="TARGET",
+        help="telemetry address: host:port or a Unix socket path",
+    )
+    parser.add_argument(
+        "--ticks",
+        type=int,
+        default=0,
+        metavar="N",
+        help="exit after N feed ticks (default: run until interrupted)",
+    )
+    args = parser.parse_args(argv)
+
+    from repro.obs import apply_delta
+    from repro.obs import telemetry
+
+    doc: dict | None = None
+    ticks = 0
+    try:
+        for line in telemetry.watch(args.attach):
+            doc = apply_delta(doc, line)
+            ticks += 1
+            print(_render_stage_waterfall(doc, ticks, args.attach))
+            sys.stdout.flush()
+            if args.ticks and ticks >= args.ticks:
+                break
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
 def top_main(argv: list[str] | None = None) -> int:
     """Attach to a live daemon's delta feed and render fleet panels."""
     parser = argparse.ArgumentParser(
@@ -548,17 +655,21 @@ def main(argv: list[str] | None = None) -> int:
         "demo": demo_main,
         "scrape": scrape_main,
         "top": top_main,
+        "trace": trace_main,
     }
     argv = sys.argv[1:] if argv is None else argv
     usage = (
-        "usage: repro {server|serve|client|mosh|demo|scrape|top} [args...]\n"
+        "usage: repro {server|serve|client|mosh|demo|scrape|top|trace}"
+        " [args...]\n"
         "  server  one-session SSP server (mosh-server equivalent)\n"
         "  serve   multi-session daemon: N sessions on one UDP port\n"
         "  client  interactive SSP client\n"
         "  mosh    bootstrap over SSH, then connect over SSP/UDP\n"
         "  demo    localhost server+client smoke test\n"
         "  scrape  one-shot metrics/health scrape of a live daemon\n"
-        "  top     live fleet panel attached to a daemon's delta feed"
+        "  top     live fleet panel attached to a daemon's delta feed\n"
+        "  trace   live per-keystroke stage waterfall (repro trace"
+        " --attach T)"
     )
     if not argv or argv[0] in ("-h", "--help"):
         print(usage)

@@ -72,6 +72,8 @@ class CryptoStats:
         "replay_drops",
         "seal_us",
         "unseal_us",
+        "last_seal_us",
+        "last_unseal_us",
     )
 
     #: The counter names exposed by :meth:`snapshot` (the pump bridges
@@ -101,6 +103,12 @@ class CryptoStats:
         self.unseal_us = Histogram(
             "crypto.unseal_us", low=1.0, high=1_000_000.0, unit="us"
         )
+        # Most recent per-datagram cost (amortized share under batching),
+        # read by the causal tracer to carve crypto CPU out of a
+        # keystroke's stage timeline. Plain floats, always maintained —
+        # the histograms above gate on the global observability switch.
+        self.last_seal_us = 0.0
+        self.last_unseal_us = 0.0
 
     def snapshot(self) -> dict[str, int]:
         return {name: getattr(self, name) for name in self.COUNTER_NAMES}
@@ -158,8 +166,10 @@ class Session:
             )
         t0 = perf_counter()
         sealed = self._cipher.encrypt(message.nonce.ocb(), text)
+        elapsed = (perf_counter() - t0) * 1e6
         stats = self.stats
-        stats.seal_us.record((perf_counter() - t0) * 1e6)
+        stats.last_seal_us = elapsed
+        stats.seal_us.record(elapsed)
         stats.datagrams_sealed += 1
         stats.bytes_sealed += len(text)
         return message.nonce.wire() + sealed
@@ -202,8 +212,10 @@ class Session:
         except AuthenticationError:
             self.stats.auth_failures += 1
             raise
+        elapsed = (perf_counter() - t0) * 1e6
         stats = self.stats
-        stats.unseal_us.record((perf_counter() - t0) * 1e6)
+        stats.last_unseal_us = elapsed
+        stats.unseal_us.record(elapsed)
         nonce = Nonce.from_wire(wire)
         if not self._replay[nonce.direction].note(nonce.seq):
             stats.replay_drops += 1
@@ -249,8 +261,10 @@ class NullSession:
             )
         t0 = perf_counter()
         wire = message.nonce.wire() + message.text + bytes(TAG_LEN)
+        elapsed = (perf_counter() - t0) * 1e6
         stats = self.stats
-        stats.seal_us.record((perf_counter() - t0) * 1e6)
+        stats.last_seal_us = elapsed
+        stats.seal_us.record(elapsed)
         stats.datagrams_sealed += 1
         stats.bytes_sealed += len(message.text)
         return wire
@@ -273,8 +287,10 @@ class NullSession:
         # the retained Message payload from the caller's buffer.
         nonce = Nonce.from_wire(bytes(data[:_NONCE_WIRE_LEN]))
         text = bytes(data[_NONCE_WIRE_LEN:-TAG_LEN])
+        elapsed = (perf_counter() - t0) * 1e6
         stats = self.stats
-        stats.unseal_us.record((perf_counter() - t0) * 1e6)
+        stats.last_unseal_us = elapsed
+        stats.unseal_us.record(elapsed)
         if not self._replay[nonce.direction].note(nonce.seq):
             stats.replay_drops += 1
             raise ReplayError(
@@ -328,6 +344,7 @@ def seal_many(pairs) -> list[bytes]:
     for i, raw in zip(batched, sealed):
         session, message = pairs[i]
         stats = session.stats
+        stats.last_seal_us = share_us
         stats.seal_us.record(share_us)
         stats.datagrams_sealed += 1
         stats.bytes_sealed += len(message.text)
@@ -391,6 +408,7 @@ def unseal_many(pairs) -> list:
             stats.auth_failures += 1
             out[i] = text
             continue
+        stats.last_unseal_us = share_us
         stats.unseal_us.record(share_us)
         nonce = Nonce.from_wire(wire)
         if not session._replay[nonce.direction].note(nonce.seq):

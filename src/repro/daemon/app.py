@@ -243,6 +243,27 @@ class DaemonApp:
         """Export the span ring as Chrome ``trace_event`` JSON."""
         return self.reactor.tracer.export_chrome(path)
 
+    def causal_summary(self) -> dict:
+        """Fleet-pooled causal stage view from the live registry.
+
+        The same aggregation ``repro trace --attach`` renders remotely:
+        any client-side ``causal.*`` stage histograms in this registry
+        pooled per stage, plus every session's server-resident echo-ack
+        hold (``server.s<N>.causal.echo_wait_ms``). On a daemon whose
+        clients run elsewhere, the stage section is empty and the
+        echo-wait section carries the fleet's server-visible slice.
+        """
+        from repro.obs.causal import pool_server_echo_wait, pool_stage_summaries
+
+        doc = self.reactor.registry.snapshot()
+        pooled = pool_stage_summaries(doc)
+        echo_wait = pool_server_echo_wait(doc)
+        return {
+            "schema": "repro.obs.causal.pool/1",
+            "stages": {name: hist.summary() for name, hist in pooled.items()},
+            "echo_wait": echo_wait.summary(),
+        }
+
     def write_flight_log(self, path: str) -> int:
         """Export the daemon-level flight recording (pre-route fates).
 

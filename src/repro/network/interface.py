@@ -90,6 +90,10 @@ class DatagramEndpoint(ABC):
         self._last_heard: float | None = None
         self._remote_addr: Any = None
         self._received_payloads: list[bytes] = []
+        # Per-datagram receive context (rx tuples) captured in lockstep
+        # with the payload queue — only populated while a causal tracer
+        # is attached, so the common path pays one ``is None`` check.
+        self._received_rx: list[tuple] = []
         # Traffic counters (sealed datagrams), surfaced in reactor metrics.
         self.datagrams_sent = 0
         self.bytes_sent = 0
@@ -113,6 +117,12 @@ class DatagramEndpoint(ABC):
         #: ``.stage``). When set, unframed datagrams are staged for a
         #: batched unseal instead of being decrypted inline.
         self.rx_stage: Callable[..., None] | None = None
+        #: Optional per-keystroke causal tracer
+        #: (:class:`~repro.obs.causal.CausalTracer`). When attached, each
+        #: sent datagram's carry context and each authentic arrival's
+        #: timestamps/RTT/unseal cost are fed to it, and rx tuples are
+        #: queued for the transport to pair with instruction completion.
+        self.causal = None
 
     # ------------------------------------------------------------------
     # Subclass surface
@@ -217,6 +227,11 @@ class DatagramEndpoint(ABC):
                 meta, packet.seq, packet.timestamp, packet.timestamp_reply,
                 wire_len,
             ))
+            if self.causal is not None:
+                # Seal cost is unknowable until the batch flush; charge 0
+                # (clients are never batched, so this is a daemon-side
+                # safety net, not the common tracer path).
+                self.causal.on_send(now, packet.seq, meta, 0.0)
             return
         raw = self._session.encrypt(
             Message(nonce=packet.nonce, text=packet.to_plaintext())
@@ -234,6 +249,10 @@ class DatagramEndpoint(ABC):
                 packet.timestamp,
                 packet.timestamp_reply,
                 meta,
+            )
+        if self.causal is not None:
+            self.causal.on_send(
+                now, packet.seq, meta, self._session.stats.last_seal_us
             )
         self._transmit(raw, now)
 
@@ -382,6 +401,24 @@ class DatagramEndpoint(ABC):
                 rto=self._rtt.rto(),
             )
         self._received_payloads.append(packet.payload)
+        causal = self.causal
+        if causal is not None:
+            rx = (
+                now,
+                packet.seq,
+                packet.timestamp,
+                packet.timestamp_reply
+                if packet.timestamp_reply != TIMESTAMP_NONE
+                else None,
+                rtt_sample,
+                self._session.stats.last_unseal_us,
+                # Smoothed RTT as the wire-share fallback for settle
+                # datagrams whose reply slot is empty (the peer spent
+                # its saved timestamp on an earlier reply).
+                self._rtt.srtt if self._rtt.have_sample else None,
+            )
+            causal.on_recv(rx)
+            self._received_rx.append(rx)
         if notify and self.on_datagram is not None:
             self.on_datagram(now)
         return True
@@ -404,7 +441,22 @@ class DatagramEndpoint(ABC):
         """Drain payloads that arrived since the last call."""
         out = self._received_payloads
         self._received_payloads = []
+        self._received_rx = []
         return out
+
+    def pop_received_rx(self) -> tuple[list[bytes], list[tuple]]:
+        """Drain payloads plus their causal rx tuples, index-aligned.
+
+        The rx list is empty unless a causal tracer is attached (it is
+        captured per accepted payload, so when present the two lists have
+        equal length and ``rx[i]`` describes the datagram that carried
+        ``payloads[i]``).
+        """
+        payloads = self._received_payloads
+        rx = self._received_rx
+        self._received_payloads = []
+        self._received_rx = []
+        return payloads, rx
 
     # ------------------------------------------------------------------
     # Link state

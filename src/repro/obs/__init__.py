@@ -26,6 +26,18 @@ build). :func:`set_enabled` is the global kill switch the benchmark
 suite uses to measure instrumentation overhead A/B.
 """
 
+from repro.obs.causal import (
+    CAUSAL_SCHEMA,
+    STAGE_GRID,
+    STAGES,
+    CausalTracer,
+    ServerStageTracker,
+    pool_server_echo_wait,
+    pool_stage_summaries,
+    render_waterfall,
+    validate_causal_report,
+)
+from repro.obs.clocksync import ClockOffsetEstimator, estimate_offset
 from repro.obs.flight import (
     FLIGHT_SCHEMA,
     FlightRecorder,
@@ -61,11 +73,16 @@ from repro.obs.telemetry import (
 from repro.obs.trace import SpanTracer
 
 __all__ = [
+    "CAUSAL_SCHEMA",
     "DELTA_SCHEMA",
     "ECHO_GRID",
     "FLIGHT_SCHEMA",
     "HEALTH_SCHEMA",
     "SNAPSHOT_SCHEMA",
+    "STAGES",
+    "STAGE_GRID",
+    "CausalTracer",
+    "ClockOffsetEstimator",
     "Counter",
     "FlightRecorder",
     "Gauge",
@@ -74,6 +91,7 @@ __all__ = [
     "Histogram",
     "KeystrokeLatencyTracker",
     "MetricsRegistry",
+    "ServerStageTracker",
     "SnapshotDelta",
     "SpanTracer",
     "TelemetryServer",
@@ -81,10 +99,15 @@ __all__ = [
     "attach_metrics_writer",
     "default_fleet_ruleset",
     "enabled",
+    "estimate_offset",
     "load_flight_log",
     "merge_summaries",
+    "pool_server_echo_wait",
+    "pool_stage_summaries",
     "render_prometheus",
+    "render_waterfall",
     "set_enabled",
+    "validate_causal_report",
     "validate_snapshot",
     "validate_flight_log",
 ]

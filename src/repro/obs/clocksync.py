@@ -1,0 +1,111 @@
+"""NTP-style clock-offset estimation from one-way delay samples.
+
+Two endpoints that each log (or echo) their own monotonic milliseconds
+disagree by an unknown offset. Neither side can measure a true one-way
+delay, but each *apparent* delay bakes the offset in with a fixed sign:
+
+* client→server: ``apparent = true_delay + offset``
+* server→client: ``apparent = true_delay - offset``
+
+(``offset`` = server clock minus client clock.) Assuming the fastest
+packet observed in each direction saw the same minimum path delay, the
+residual asymmetry between the two minima is twice the offset::
+
+    offset = (min apparent_c2s - min apparent_s2c) / 2
+
+This is the classic NTP estimator. It is exact on symmetric paths and
+biased by half the delay asymmetry otherwise — an inherent limit of
+two-clock measurement, documented rather than hidden.
+
+Two forms live here:
+
+* :func:`estimate_offset` — the batch form over two complete sample
+  lists, used by the offline flight-log merge
+  (:mod:`repro.analysis.flight`).
+* :class:`ClockOffsetEstimator` — the streaming form: bounded
+  per-direction windows of recent minima, so a *live* session tracks the
+  offset as samples arrive and follows genuine drift (an NTP step on one
+  host mid-session) instead of being pinned forever to a stale minimum.
+
+Both return ``None`` — never a fabricated zero — when a direction has no
+samples yet; callers that need a number map ``None`` to their own
+default.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterable
+
+#: Streaming window length per direction. At one sample per received
+#: datagram a heartbeat-idle session spans ~13 minutes of history, while
+#: an interactive one forgets a pre-drift minimum within seconds.
+OFFSET_WINDOW = 256
+
+#: Samples whose magnitude exceeds this are discarded by the streaming
+#: estimator: with 16-bit millisecond timestamps, apparent delays beyond
+#: ~30 s are wraparound artifacts of an idle link, not measurements
+#: (mirrors the RTT estimator's 60 s sanity bound, halved per direction).
+MAX_PLAUSIBLE_MS = 30_000.0
+
+
+def estimate_offset(
+    c2s_deltas: Iterable[float], s2c_deltas: Iterable[float]
+) -> float | None:
+    """Server-minus-client offset from two apparent-delay sample sets.
+
+    Returns ``None`` when either direction is empty — a one-directional
+    recording has no basis for an estimate, and pretending the offset is
+    zero would silently misalign every cross-endpoint timestamp.
+    """
+    c2s_min: float | None = None
+    for delta in c2s_deltas:
+        if c2s_min is None or delta < c2s_min:
+            c2s_min = delta
+    s2c_min: float | None = None
+    for delta in s2c_deltas:
+        if s2c_min is None or delta < s2c_min:
+            s2c_min = delta
+    if c2s_min is None or s2c_min is None:
+        return None
+    return (c2s_min - s2c_min) / 2.0
+
+
+class ClockOffsetEstimator:
+    """Streaming offset tracker over bounded windows of apparent delays.
+
+    Feed every apparent one-way delay observed (:meth:`add_c2s` /
+    :meth:`add_s2c`); read :meth:`offset` whenever a current estimate is
+    needed. The windows bound both memory and staleness: a clock step on
+    either host shifts every subsequent sample by the same amount, so
+    once the pre-step samples age out of the window the estimate has
+    fully tracked the drift.
+    """
+
+    __slots__ = ("_c2s", "_s2c")
+
+    def __init__(self, window: int = OFFSET_WINDOW) -> None:
+        self._c2s: deque[float] = deque(maxlen=window)
+        self._s2c: deque[float] = deque(maxlen=window)
+
+    def add_c2s(self, delta_ms: float) -> None:
+        """One client→server apparent delay (true delay + offset)."""
+        if abs(delta_ms) <= MAX_PLAUSIBLE_MS:
+            self._c2s.append(delta_ms)
+
+    def add_s2c(self, delta_ms: float) -> None:
+        """One server→client apparent delay (true delay - offset)."""
+        if abs(delta_ms) <= MAX_PLAUSIBLE_MS:
+            self._s2c.append(delta_ms)
+
+    @property
+    def samples(self) -> int:
+        """Total samples currently held across both windows."""
+        return len(self._c2s) + len(self._s2c)
+
+    def offset(self) -> float | None:
+        """Current server-minus-client estimate, or ``None`` if either
+        direction has no samples in its window yet."""
+        if not self._c2s or not self._s2c:
+            return None
+        return (min(self._c2s) - min(self._s2c)) / 2.0

@@ -91,6 +91,25 @@ class SpanTracer:
             ("X", name, cat, t0, self._clock() - t0, _NO_ARGS)
         )
 
+    def span_at(
+        self,
+        name: str,
+        t0: float,
+        dur_ms: float,
+        cat: str = "runtime",
+        **args,
+    ) -> None:
+        """Record a span with explicit start and duration.
+
+        For retrospective spans reconstructed after the fact — e.g. a
+        causal tracer exporting a slow keystroke's stage waterfall —
+        where both endpoints of the interval are already known and no
+        clock read is wanted.
+        """
+        if not _registry._enabled:
+            return
+        self._events.append(("X", name, cat, t0, dur_ms, args))
+
     def instant(self, name: str, cat: str = "runtime", **args) -> None:
         """Record a zero-duration event at the current clock reading."""
         if not _registry._enabled:

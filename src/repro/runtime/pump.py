@@ -161,6 +161,17 @@ class TransportPump:
         registry.gauge(f"{role}.network.srtt_ms", fn=lambda: endpoint.srtt)
         registry.gauge(f"{role}.network.rttvar_ms", fn=lambda: endpoint.rttvar)
         registry.gauge(f"{role}.network.rto_ms", fn=endpoint.rto)
+        causal = getattr(endpoint, "causal", None)
+        if causal is not None:
+            # Causal-tracer health: outstanding (stamped, unsettled)
+            # chains and retained tail exemplars. The stage histograms
+            # register themselves under ``causal.*`` at tracer build.
+            registry.gauge(
+                f"{role}.causal.pending", fn=lambda: causal.pending
+            )
+            registry.gauge(
+                f"{role}.causal.exemplars", fn=lambda: causal.exemplar_count
+            )
         flight = endpoint.flight
         if flight is not None:
             # Ring occupancy and overwrite count for the wire-level

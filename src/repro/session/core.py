@@ -21,6 +21,7 @@ from typing import Callable
 from repro.input.events import Resize, UserBytes
 from repro.input.userstream import UserStream
 from repro.network.interface import DatagramEndpoint
+from repro.obs.causal import CausalTracer, ServerStageTracker
 from repro.obs.keystroke import KeystrokeLatencyTracker
 from repro.prediction.engine import DisplayPreference, PredictionEngine
 from repro.prediction.overlays import NotificationEngine
@@ -55,6 +56,11 @@ class ServerCore:
         )
         self.transport.on_remote_state = self.handle_user_events
         self.transport.sender.record_send_log = record_send_log
+        #: Server-visible slice of the causal waterfall: per-keystroke
+        #: input→echo-ack wait, exported as ``{role}.causal.echo_wait_ms``
+        #: so ``repro trace --attach`` has stage content on a daemon
+        #: whose clients (and their full chains) live elsewhere.
+        self.stages = ServerStageTracker(reactor.registry, role=self.role)
         self._pump = TransportPump(reactor, self.transport, role=self.role)
         self._processed_events = 0
         self._echo_timer: TimerHandle | None = None
@@ -89,6 +95,7 @@ class ServerCore:
         for offset, event in enumerate(events, start=self._processed_events + 1):
             if isinstance(event, UserBytes):
                 self.terminal.register_input(offset, now)
+                self.stages.on_input(offset, now)
                 tracer.instant("server.input", cat="keystroke", index=offset)
                 if self.on_input is not None:
                     self.on_input(event.data)
@@ -112,7 +119,9 @@ class ServerCore:
 
     def _echo_ack_due(self) -> None:
         self._echo_timer = None
-        if self.terminal.set_echo_ack(self.reactor.now()):
+        now = self.reactor.now()
+        if self.terminal.set_echo_ack(now):
+            self.stages.on_echo_ack(self.terminal.echo_ack, now)
             self._pump.kick()
         self._arm_echo_ack()
 
@@ -167,6 +176,8 @@ class ClientCore:
         preference: DisplayPreference = DisplayPreference.ADAPTIVE,
         heartbeat_ms: float | None = None,
         label: str | None = None,
+        causal: bool = False,
+        shared_clock: bool = True,
     ) -> None:
         self.reactor = reactor
         #: Instrument-name prefix ("client", or "client.c3" when many
@@ -182,7 +193,6 @@ class ClientCore:
         # the warning bar clears on the same frame that proves the server
         # is alive. The pump chains this hook ahead of its own kick.
         endpoint.on_datagram = self.notifications.server_heard
-        self._pump = TransportPump(reactor, self.transport, role=self.role)
         #: Per-keystroke echo latency: stamped at UserStream ingestion in
         #: :meth:`type_bytes`, settled when a frame's echo-ack covers the
         #: event index — the live form of the paper's Figure 2.
@@ -194,6 +204,19 @@ class ClientCore:
         self.keystrokes = KeystrokeLatencyTracker(
             reactor.registry, name=keystroke_name
         )
+        #: Causal attribution of each settled keystroke's echo latency to
+        #: its pipeline stages (``causal.<stage>_ms`` histograms plus tail
+        #: exemplars). Optional: the endpoint hooks cost one attribute
+        #: check per datagram when absent.
+        self.causal: CausalTracer | None = None
+        if causal:
+            self.causal = CausalTracer(
+                reactor.registry, label=label, shared_clock=shared_clock
+            )
+            endpoint.causal = self.causal
+        # Pump construction comes after the tracer so its observability
+        # wiring sees (and exports gauges for) the attached tracer.
+        self._pump = TransportPump(reactor, self.transport, role=self.role)
         self._prediction_seen = self._prediction_counts()
         self._prediction_counters = {
             name: reactor.registry.counter(f"{self.role}.prediction.{name}")
@@ -248,15 +271,16 @@ class ClientCore:
     def _on_new_frame(self, now: float) -> None:
         state = self.remote_terminal
         tracer = self.reactor.tracer
-        for index, latency_ms in self.keystrokes.on_echo_ack(
-            state.echo_ack, now
-        ):
+        settled = self.keystrokes.on_echo_ack(state.echo_ack, now)
+        for index, latency_ms in settled:
             tracer.instant(
                 "client.echo",
                 cat="keystroke",
                 index=index,
                 latency_ms=round(latency_ms, 3),
             )
+        if self.causal is not None and settled:
+            self.causal.on_frame(now, settled, self.transport.last_frame_rx)
         self.predictor.report_frame(state.fb, state.echo_ack, now, self._srtt())
         self._bridge_prediction_stats()
         self._note_display(now)
@@ -298,6 +322,8 @@ class ClientCore:
         for byte in data:
             stream.push_event(UserBytes(bytes([byte])))
             self.keystrokes.stamp(stream.total_count, now)
+            if self.causal is not None:
+                self.causal.on_stamp(stream.total_count, now)
             tracer.instant(
                 "client.keystroke", cat="keystroke", index=stream.total_count
             )

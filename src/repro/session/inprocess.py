@@ -67,6 +67,7 @@ class MoshClient(ClientCore):
         preference: DisplayPreference = DisplayPreference.ADAPTIVE,
         reactor: SimReactor | None = None,
         label: str | None = None,
+        causal: bool = True,
     ) -> None:
         super().__init__(
             reactor if reactor is not None else SimReactor(loop),
@@ -76,6 +77,11 @@ class MoshClient(ClientCore):
             timing,
             preference,
             label=label,
+            causal=causal,
+            # Both simulated endpoints share one EventLoop clock, so the
+            # tracer pins its clock-offset estimate to zero — matching
+            # the offline analyzer's treatment of sim/sim recordings.
+            shared_clock=True,
         )
         self.loop = loop
 
@@ -93,6 +99,7 @@ class InProcessSession:
         encrypt: bool = True,
         timing: SenderTiming | None = None,
         preference: DisplayPreference = DisplayPreference.ADAPTIVE,
+        causal: bool = True,
     ) -> None:
         self.loop = EventLoop()
         self.reactor = SimReactor(self.loop)
@@ -131,6 +138,7 @@ class InProcessSession:
             timing,
             preference,
             reactor=self.reactor,
+            causal=causal,
         )
         self._wire_link_gauges()
 
@@ -265,6 +273,7 @@ class InProcessDaemon:
         flight_budget: int | None = None,
         wire_batch: bool = True,
         timer_wheel: bool | None = None,
+        causal: bool = True,
     ) -> None:
         # Deferred import: repro.daemon.manager imports this package for
         # ServerCore, so binding at class-definition time would cycle.
@@ -282,6 +291,7 @@ class InProcessDaemon:
         self._height = height
         self._conn_id_framing = conn_id_framing
         self._echo = echo
+        self._causal = causal
         # ``flight_budget`` is the daemon-level cap: a total event budget
         # split evenly across the planned fleet, so 10k sessions cannot
         # hold 10k full-size rings. Per-session capacity floors at 64 so
@@ -376,6 +386,7 @@ class InProcessDaemon:
             self._preference,
             reactor=self.reactor,
             label=f"c{cid}",
+            causal=self._causal,
         )
         self.clients[cid] = client
         return record, client

@@ -45,6 +45,11 @@ class Transport(Generic[MyState, RemoteState]):
         self._assembly = FragmentAssembly()
         #: Called with (now) whenever a new remote state lands.
         self.on_remote_state: Callable[[float], None] | None = None
+        #: Causal rx tuple of the datagram whose fragment completed the
+        #: most recent instruction — the "settling datagram" a causal
+        #: tracer charges the return-path stages to. Stays ``None``
+        #: unless the endpoint captures rx context (tracer attached).
+        self.last_frame_rx: tuple | None = None
 
     # ------------------------------------------------------------------
     # State access
@@ -82,7 +87,8 @@ class Transport(Generic[MyState, RemoteState]):
         return self.sender.wait_time(now)
 
     def _receive(self, now: float) -> None:
-        for payload in self._endpoint.pop_received():
+        payloads, rx_infos = self._endpoint.pop_received_rx()
+        for i, payload in enumerate(payloads):
             try:
                 fragment = Fragment.decode(payload)
             except FragmentError:
@@ -119,5 +125,13 @@ class Transport(Generic[MyState, RemoteState]):
                 self.sender.set_ack_num(self.receiver.latest_num)
                 if inst.diff:
                     self.sender.set_data_ack(now)
+                if rx_infos:
+                    # This datagram's fragment completed the instruction:
+                    # it is the one that settles whatever the new state
+                    # acknowledges (rx capture is per accepted payload,
+                    # so the index pairing is exact).
+                    self.last_frame_rx = (
+                        rx_infos[i] if i < len(rx_infos) else rx_infos[-1]
+                    )
                 if self.on_remote_state is not None:
                     self.on_remote_state(now)

@@ -1,0 +1,249 @@
+"""Per-keystroke causal tracing: residual-exact stages, live vs offline.
+
+The ISSUE's acceptance checks: for a simulated session the live stage
+durations must sum to the end-to-end ``keystroke.echo_ms`` measurement,
+must agree with the offline flight-log stage partition on the same run,
+and the tracer must change nothing on the wire. Plus unit coverage for
+the degenerate paths, the exemplar ring, the report validator, and the
+server-side echo-wait tracker.
+"""
+
+import pytest
+
+from repro.analysis.flight import analyze
+from repro.errors import ObservabilityError
+from repro.obs.causal import (
+    CAUSAL_SCHEMA,
+    EXEMPLAR_MAX,
+    STAGES,
+    CausalTracer,
+    ServerStageTracker,
+    pool_server_echo_wait,
+    pool_stage_summaries,
+    render_waterfall,
+    validate_causal_report,
+)
+from repro.obs.registry import MetricsRegistry, set_enabled
+from repro.obs.trace import SpanTracer
+from repro.session.inprocess import InProcessDaemon, InProcessSession
+from repro.simnet.link import LinkConfig
+
+
+def typing_session(
+    up_ms: float = 20.0,
+    down_ms: float = 35.0,
+    keystrokes: int = 30,
+    causal: bool = True,
+    seed: int = 1,
+) -> InProcessSession:
+    """An asymmetric-path echo session with every keystroke settled."""
+    session = InProcessSession(
+        LinkConfig(delay_ms=up_ms),
+        LinkConfig(delay_ms=down_ms),
+        seed=seed,
+        causal=causal,
+    )
+    session.server.on_input = lambda d: session.server.host_write(d)
+    session.connect(warmup_ms=500.0)
+    for i in range(keystrokes):
+        session.client.type_bytes(b"q" if i % 10 else b"\r")
+        session.run_for(40.0)
+    session.run_for(2000.0)  # every keystroke settles
+    return session
+
+
+class TestLiveAttribution:
+    def test_stage_durations_sum_to_echo_latency(self):
+        session = typing_session()
+        tracer = session.client.causal
+        echo = session.client.keystrokes.histogram
+        assert echo.count == 30
+        # Every settled keystroke was fully attributed via its chain.
+        assert tracer.chains.value == 30
+        assert tracer.unmatched.value == 0
+        assert tracer.pending == 0
+        counts = {s: tracer.stage_histograms[s].count for s in STAGES}
+        assert set(counts.values()) == {30}
+        # Residual-exact: the seven stage totals reproduce the tracker's
+        # total to float noise — far inside the ±1-tick acceptance bound.
+        stage_total = sum(tracer.stage_histograms[s].total for s in STAGES)
+        assert stage_total == pytest.approx(echo.total, abs=1e-6)
+
+    def test_wire_stages_match_link_delays(self):
+        session = typing_session(up_ms=20.0, down_ms=35.0)
+        tracer = session.client.causal
+        # The simulated links are constant-delay, so the directional
+        # wire stages must recover them (not just their 55 ms sum).
+        assert tracer.stage_histograms["wire_c2s"].mean == pytest.approx(
+            20.0, abs=1.0
+        )
+        assert tracer.stage_histograms["wire_s2c"].mean == pytest.approx(
+            35.0, abs=1.0
+        )
+        # The server stage dominates: the 50 ms echo-ack hold lives there.
+        assert tracer.stage_histograms["server_echo"].mean > 40.0
+
+    def test_live_agrees_with_offline_flight_partition(self):
+        session = typing_session()
+        tracer = session.client.causal
+        client_rec, server_rec = session.flight_recordings()
+        offline = analyze(client_rec, server_rec)["stages"]
+        assert offline["chains"] > 0
+        # Wire stages: both sides see the same constant-delay links.
+        for live_name, offline_name in (
+            ("wire_c2s", "wire_c2s_ms"),
+            ("wire_s2c", "wire_s2c_ms"),
+        ):
+            live_mean = tracer.stage_histograms[live_name].mean
+            assert live_mean == pytest.approx(
+                offline[offline_name]["mean"], abs=1.0
+            ), live_name
+        # Decomposition identity: the live lumped server stage equals the
+        # offline apply time (settling diff sent) plus the echo-ack hold
+        # the server tracks live — within the settle-diff pacing jitter.
+        echo_wait = session.server.stages.echo_wait
+        assert echo_wait.count > 0
+        live_server = tracer.stage_histograms["server_echo"].mean
+        decomposed = offline["server_apply_ms"]["mean"] + echo_wait.mean
+        assert live_server == pytest.approx(decomposed, abs=5.0)
+
+    def test_report_validates_and_pools(self):
+        session = typing_session(keystrokes=10)
+        report = session.client.causal.report()
+        assert report["schema"] == CAUSAL_SCHEMA
+        validate_causal_report(report)  # includes per-exemplar sum check
+        doc = session.metrics_snapshot()
+        pooled = pool_stage_summaries(doc)
+        assert set(pooled) == set(STAGES)
+        assert all(pooled[s].count == 10 for s in STAGES)
+        lines = render_waterfall(pooled)
+        assert len(lines) == len(STAGES)
+        assert all("#" in line for line in lines if "wire" in line)
+        assert pool_server_echo_wait(doc).count > 0
+
+    def test_causal_disabled_registers_nothing(self):
+        session = typing_session(keystrokes=5, causal=False)
+        assert session.client.causal is None
+        names = set(session.reactor.registry.names())
+        assert not any(n.startswith("causal.") for n in names)
+        # The server-side echo-wait tracker is independent of the
+        # client-side switch: it always measures.
+        assert "server.causal.echo_wait_ms" in names
+        # And keystroke latency itself still measured normally.
+        assert session.client.keystrokes.histogram.count == 5
+
+
+class TestExemplars:
+    def test_tail_ring_bounded_and_sorted(self):
+        session = typing_session(keystrokes=EXEMPLAR_MAX + 14)
+        tracer = session.client.causal
+        assert tracer.exemplar_count == EXEMPLAR_MAX
+        chains = tracer.exemplars()
+        echoes = [c["echo_ms"] for c in chains]
+        assert echoes == sorted(echoes, reverse=True)  # slowest first
+        # The retained tail really is the slowest slice of the run.
+        all_settled = session.client.keystrokes.histogram
+        assert min(echoes) >= all_settled.min
+
+    def test_export_spans_builds_waterfalls(self):
+        session = typing_session(keystrokes=6)
+        tracer = session.client.causal
+        clock = [0.0]
+        spans = SpanTracer(lambda: clock[0])
+        count = tracer.export_spans(spans)
+        assert count > 0
+        events = spans.events(cat="causal")
+        assert len(events) == count
+        # Consecutive stages of one keystroke tile without gaps.
+        chain = tracer.exemplars()[0]
+        mine = sorted(
+            (e for e in events if e["args"]["index"] == chain["index"]),
+            key=lambda e: e["ts_ms"],
+        )
+        cursor = chain["t_typed"]
+        for event in mine:
+            assert event["ts_ms"] == pytest.approx(cursor, abs=1e-6)
+            cursor += event["dur_ms"]
+        assert cursor == pytest.approx(
+            chain["t_typed"] + chain["echo_ms"], abs=0.05
+        )
+
+
+class TestDegeneratePaths:
+    def test_unmatched_settle_charges_server_stage(self):
+        registry = MetricsRegistry()
+        tracer = CausalTracer(registry, shared_clock=True)
+        # A settle for a keystroke that was never stamped (tracer
+        # attached mid-flight): boundaries still hold, interior lumps
+        # into server_echo, and the fallback is counted.
+        tracer.on_frame(1000.0, [(3, 120.0)])
+        assert tracer.unmatched.value == 1
+        assert tracer.chains.value == 0
+        assert tracer.stage_histograms["server_echo"].total == 120.0
+        total = sum(tracer.stage_histograms[s].total for s in STAGES)
+        assert total == pytest.approx(120.0)
+
+    def test_disabled_switch_noops_every_hook(self):
+        registry = MetricsRegistry()
+        tracer = CausalTracer(registry, shared_clock=True)
+        set_enabled(False)
+        try:
+            tracer.on_stamp(0, 1.0)
+            tracer.on_send(2.0, 1, {"dlen": 10}, 50.0)
+            tracer.on_recv((3.0, 2, 3, 2, 1.0, 40.0, None))
+            tracer.on_frame(4.0, [(0, 3.0)])
+        finally:
+            set_enabled(True)
+        assert tracer.pending == 0
+        assert tracer.chains.value == 0
+        assert all(h.count == 0 for h in tracer.stage_histograms.values())
+
+    def test_validator_rejects_bad_documents(self):
+        with pytest.raises(ObservabilityError):
+            validate_causal_report([])
+        with pytest.raises(ObservabilityError):
+            validate_causal_report({"schema": "nope"})
+        session = typing_session(keystrokes=5)
+        report = session.client.causal.report()
+        report["exemplars"][0]["stages"]["server_echo"] += 1.0
+        with pytest.raises(ObservabilityError):
+            validate_causal_report(report)
+
+
+class TestServerStageTracker:
+    def test_echo_ack_wait_measured_per_input(self):
+        registry = MetricsRegistry()
+        tracker = ServerStageTracker(registry, role="server.s9")
+        tracker.on_input(10, 100.0)
+        tracker.on_input(11, 110.0)
+        tracker.on_echo_ack(9, 115.0)  # covers nothing yet
+        assert tracker.echo_wait.count == 0
+        tracker.on_echo_ack(11, 160.0)  # settles both
+        assert tracker.echo_wait.count == 2
+        assert tracker.echo_wait.total == pytest.approx(110.0)  # 60 + 50
+        assert "server.s9.causal.echo_wait_ms" in registry.names()
+
+
+class TestDaemonFleet:
+    def test_labelled_stage_histograms_per_client(self):
+        daemon = InProcessDaemon(
+            LinkConfig(delay_ms=15.0),
+            LinkConfig(delay_ms=15.0),
+            sessions=2,
+            width=40,
+            height=8,
+            seed=3,
+        )
+        daemon.connect(warmup_ms=1000.0)
+        for cid in daemon.conn_ids:
+            for _ in range(4):
+                daemon.client(cid).type_bytes(b"k")
+                daemon.run_for(60.0)
+        daemon.run_for(2000.0)
+        doc = daemon.metrics_snapshot()
+        for cid in daemon.conn_ids:
+            for stage in STAGES:
+                name = f"causal.c{cid}.{stage}_ms"
+                assert doc["histograms"][name]["count"] == 4, name
+        pooled = pool_stage_summaries(doc)
+        assert pooled["deliver"].count == 8  # both clients pooled

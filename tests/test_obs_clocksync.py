@@ -1,0 +1,103 @@
+"""Clock-offset estimation edge cases: sparse, asymmetric, drifting."""
+
+import random
+
+from repro.obs.clocksync import (
+    MAX_PLAUSIBLE_MS,
+    OFFSET_WINDOW,
+    ClockOffsetEstimator,
+    estimate_offset,
+)
+
+
+class TestEstimateOffsetBatch:
+    def test_symmetric_path_recovers_exact_offset(self):
+        # true delay 40 ms both ways, server clock 250 ms ahead.
+        c2s = [40.0 + 250.0 + jitter for jitter in (3.0, 0.0, 7.5)]
+        s2c = [40.0 - 250.0 + jitter for jitter in (1.0, 0.0, 9.0)]
+        assert estimate_offset(c2s, s2c) == 250.0
+
+    def test_fewer_than_two_directions_returns_none(self):
+        # One sample is enough *per direction*; zero in either is not an
+        # estimate — and must never be fabricated as 0.0.
+        assert estimate_offset([], []) is None
+        assert estimate_offset([42.0], []) is None
+        assert estimate_offset([], [42.0]) is None
+        assert estimate_offset([42.0], [38.0]) == 2.0
+
+    def test_asymmetric_delays_bias_by_half_the_asymmetry(self):
+        # 60 ms up, 20 ms down, zero true offset: the estimator cannot
+        # distinguish path asymmetry from clock skew and reports half
+        # the difference — the documented NTP limit, not a bug.
+        c2s = [60.0, 61.0, 63.0]
+        s2c = [20.0, 22.0, 20.5]
+        assert estimate_offset(c2s, s2c) == (60.0 - 20.0) / 2.0
+
+    def test_minimum_filter_rejects_queueing_noise(self):
+        rng = random.Random(5)
+        offset = -125.0
+        c2s = [30.0 + offset + rng.uniform(0.0, 200.0) for _ in range(200)]
+        s2c = [30.0 - offset + rng.uniform(0.0, 200.0) for _ in range(200)]
+        c2s.append(30.0 + offset)  # one uncongested packet per direction
+        s2c.append(30.0 - offset)
+        assert estimate_offset(c2s, s2c) == offset
+
+
+class TestStreamingEstimator:
+    def test_none_until_both_directions_sampled(self):
+        est = ClockOffsetEstimator()
+        assert est.offset() is None
+        est.add_c2s(90.0)
+        assert est.offset() is None  # still one-directional
+        est.add_s2c(10.0)
+        assert est.offset() == 40.0
+        assert est.samples == 2
+
+    def test_matches_batch_form_on_same_samples(self):
+        rng = random.Random(11)
+        c2s = [75.0 + rng.uniform(0.0, 30.0) for _ in range(50)]
+        s2c = [-25.0 + rng.uniform(0.0, 30.0) for _ in range(50)]
+        est = ClockOffsetEstimator()
+        for delta in c2s:
+            est.add_c2s(delta)
+        for delta in s2c:
+            est.add_s2c(delta)
+        assert est.offset() == estimate_offset(c2s, s2c)
+
+    def test_implausible_wraparound_samples_discarded(self):
+        est = ClockOffsetEstimator()
+        est.add_c2s(40.0)
+        est.add_s2c(40.0)
+        # A 16-bit timestamp wrap on an idle link shows up as a huge
+        # negative apparent delay; it must not poison the minimum.
+        est.add_c2s(-MAX_PLAUSIBLE_MS * 1.5)
+        est.add_s2c(MAX_PLAUSIBLE_MS + 1.0)
+        assert est.samples == 2
+        assert est.offset() == 0.0
+
+    def test_offset_step_mid_session_is_tracked_out(self):
+        # An NTP step moves the server clock +500 ms mid-session. Both
+        # directions' subsequent samples shift; once the pre-step minima
+        # age out of the bounded windows the estimate follows.
+        est = ClockOffsetEstimator()
+        for _ in range(OFFSET_WINDOW):
+            est.add_c2s(40.0)
+            est.add_s2c(40.0)
+        assert est.offset() == 0.0
+        for fed in range(1, OFFSET_WINDOW + 1):
+            est.add_c2s(40.0 + 500.0)
+            est.add_s2c(40.0 - 500.0)
+            if fed < OFFSET_WINDOW:
+                # Pre-step minima still in-window pin the estimate low.
+                assert est.offset() == 250.0
+        assert est.offset() == 500.0
+
+    def test_window_bounds_memory(self):
+        est = ClockOffsetEstimator(window=8)
+        for i in range(100):
+            est.add_c2s(float(i))
+            est.add_s2c(float(i))
+        assert est.samples == 16
+        # Only the last 8 samples (92..99) survive per direction.
+        assert est.offset() == 0.0
+        assert min(est._c2s) == 92.0

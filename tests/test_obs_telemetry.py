@@ -529,6 +529,114 @@ class TestTelemetryServerLive:
         with pytest.raises(ObservabilityError):
             TelemetryServer(reactor, reactor.registry, bind="localhost")
 
+    def test_watch_reconnect_gets_fresh_full_snapshot(self):
+        """Subscriber churn: a rejoining watcher primes from scratch.
+
+        Each ``watch`` connection owns its own :class:`SnapshotDelta`,
+        so a client that drops mid-feed and reconnects must receive a
+        complete ``repro.obs/1`` snapshot first — one that already
+        carries everything counted while it was away — not a delta
+        against state it never saw.
+        """
+        reactor = RealReactor()
+        registry = reactor.registry
+        counter = registry.counter("live.datagrams")
+        server = TelemetryServer(
+            reactor, registry, bind="127.0.0.1:0", feed_interval_ms=30.0
+        )
+        results: dict[str, object] = {}
+
+        def worker():
+            try:
+                for attempt in ("first", "second"):
+                    docs = []
+                    for doc in telemetry.watch(server.address, timeout=8.0):
+                        docs.append(doc)
+                        if len(docs) >= 2:
+                            break  # generator close = abrupt disconnect
+                    results[attempt] = docs
+            except Exception as exc:  # pragma: no cover - assertion below
+                results["error"] = repr(exc)
+
+        thread = threading.Thread(target=worker, daemon=True)
+        thread.start()
+        deadline = time.monotonic() + 10.0
+        while thread.is_alive() and time.monotonic() < deadline:
+            counter.inc()  # keep the feed shipping delta lines
+            reactor.run_once(20.0)
+        thread.join(1.0)
+        try:
+            assert not thread.is_alive()
+            assert "error" not in results, results["error"]
+            first, second = results["first"], results["second"]
+            # Both subscriptions open with a full, valid snapshot and
+            # follow with deltas; the reconnect's snapshot already
+            # includes counts from the first subscriber's lifetime.
+            for docs in (first, second):
+                validate_snapshot(docs[0])
+                assert docs[1]["schema"] == DELTA_SCHEMA
+            assert (
+                second[0]["counters"]["live.datagrams"]
+                > first[0]["counters"]["live.datagrams"]
+            )
+            # Clean disconnects are churn, not slow-reader drops. Give
+            # the loop a few ticks to observe the final hangup.
+            deadline = time.monotonic() + 5.0
+            while server._subscribers() and time.monotonic() < deadline:
+                reactor.run_once(20.0)
+            assert registry.get("telemetry.dropped_subscribers").value == 0
+            assert not server._subscribers()
+        finally:
+            server.close()
+
+    def test_slow_subscriber_dropped_at_buffer_cap(self):
+        """A wedged reader is cut loose; the select loop keeps serving.
+
+        When a subscriber's unsent backlog passes ``max_buffer`` the
+        server must drop it and count it in
+        ``telemetry.dropped_subscribers`` rather than queue without
+        bound — and other clients must still get answers afterwards.
+        """
+        reactor = RealReactor()
+        registry = reactor.registry
+        counter = registry.counter("live.datagrams")
+        server = TelemetryServer(
+            reactor, registry, bind="127.0.0.1:0", feed_interval_ms=20.0
+        )
+        host, _, port = server.address.rpartition(":")
+        stuck = socket.create_connection((host, int(port)))
+        try:
+            stuck.sendall(b"watch\n")
+            deadline = time.monotonic() + 10.0
+            while not server._subscribers() and time.monotonic() < deadline:
+                reactor.run_once(20.0)
+            (client,) = server._subscribers()
+            # The reader has wedged: simulate the backlog its stalled
+            # socket would accumulate and let the next flush judge it.
+            counter.inc()
+            client.outbuf += b"x" * (server.max_buffer + 1)
+            server._flush_client(client.fd)
+            assert registry.get("telemetry.dropped_subscribers").value == 1
+            assert not server._subscribers()
+
+            # The loop is not wedged: a fresh client still scrapes.
+            results: dict[str, object] = {}
+
+            def worker():
+                try:
+                    results["scrape"] = telemetry.scrape(server.address)
+                except Exception as exc:  # pragma: no cover
+                    results["error"] = repr(exc)
+
+            thread = threading.Thread(target=worker, daemon=True)
+            thread.start()
+            _drive(reactor, thread)
+            assert "error" not in results, results.get("error")
+            validate_snapshot(results["scrape"])
+        finally:
+            stuck.close()
+            server.close()
+
 
 # ----------------------------------------------------------------------
 # Pump park/wake counters feeding the storm-detection rule

@@ -19,6 +19,11 @@ over a lossy link, then:
 * stands up a session daemon with 8 concurrent clients muxed on one
   simulated port and validates the per-session (labelled) metrics
   snapshot (``--daemon-metrics``), and
+* drives a live 4-session daemon with per-keystroke causal tracing on:
+  every client's stage partition must sum to its end-to-end echo
+  latency, the fleet-pooled stage histograms must account for every
+  settled keystroke, and each client's validated ``repro.obs.causal/1``
+  report is written as an artifact (``--causal-json``), and
 * exercises the live telemetry plane: a simulated daemon's delta feed
   must reassemble (via ``apply_delta``) into exactly the registry's
   final snapshot, the Prometheus exposition is written as an artifact
@@ -213,6 +218,110 @@ def daemon_stage(args) -> list[str]:
     return failures
 
 
+def causal_stage(args) -> list[str]:
+    """Live per-keystroke causal attribution across a 4-session daemon."""
+    from repro.obs.causal import (
+        STAGES,
+        pool_server_echo_wait,
+        pool_stage_summaries,
+        validate_causal_report,
+    )
+    from repro.session.inprocess import InProcessDaemon
+
+    failures: list[str] = []
+    daemon = InProcessDaemon(
+        LinkConfig(delay_ms=15.0),
+        LinkConfig(delay_ms=25.0),
+        sessions=4,
+        width=40,
+        height=8,
+        seed=31,
+    )
+    daemon.connect(warmup_ms=1500.0)
+    for burst in range(10):
+        for cid in daemon.conn_ids:
+            daemon.client(cid).type_bytes(b"\r" if burst % 5 == 0 else b"k")
+            daemon.run_for(10.0)
+        daemon.run_for(120.0)
+    daemon.run_for(3000.0)  # every keystroke settles before we audit
+
+    doc = daemon.metrics_snapshot()
+    hists = doc["histograms"]
+    pooled = pool_stage_summaries(doc)
+    if set(pooled) != set(STAGES):
+        failures.append(f"causal: pooled stages {sorted(pooled)} != {STAGES}")
+        return failures
+
+    # The fleet-pooled partition must account for exactly the keystrokes
+    # the echo histograms settled, and the stage sums must reproduce the
+    # total end-to-end latency (the attribution is residual-exact).
+    echo_count = echo_sum = 0.0
+    for cid in daemon.conn_ids:
+        ks = hists.get(f"keystroke.c{cid}.echo_ms")
+        if ks is None or ks["count"] == 0:
+            failures.append(f"causal: keystroke.c{cid}.echo_ms is empty")
+            continue
+        echo_count += ks["count"]
+        echo_sum += ks["sum"]
+    counts = {stage: pooled[stage].count for stage in STAGES}
+    if len(set(counts.values())) != 1 or counts["deliver"] != echo_count:
+        failures.append(
+            f"causal: stage counts {counts} do not match "
+            f"{int(echo_count)} settled keystrokes"
+        )
+    stage_sum = sum(pooled[stage].total for stage in STAGES)
+    if abs(stage_sum - echo_sum) > 0.1 * max(1.0, echo_count):
+        failures.append(
+            f"causal: stage durations sum to {stage_sum:.3f} ms, "
+            f"echo histograms total {echo_sum:.3f} ms"
+        )
+    echo_wait = pool_server_echo_wait(doc)
+    if echo_wait.count == 0:
+        failures.append("causal: no server echo-ack hold samples pooled")
+
+    # Every client's live report must validate against the schema —
+    # including the per-exemplar invariant that stages sum to echo_ms —
+    # and survive the JSON round-trip onto disk.
+    reports = {}
+    for cid in daemon.conn_ids:
+        tracer = daemon.client(cid).causal
+        if tracer is None:
+            failures.append(f"causal: client c{cid} has no tracer attached")
+            continue
+        if tracer.unmatched.value:
+            failures.append(
+                f"causal: client c{cid} left {int(tracer.unmatched.value)} "
+                "keystrokes unattributed on a clean link"
+            )
+        report = tracer.report()
+        try:
+            validate_causal_report(report)
+        except Exception as exc:
+            failures.append(f"causal: client c{cid} report invalid: {exc}")
+        reports[f"c{cid}"] = report
+    artifact = {
+        "schema": "repro.obs.causal.smoke/1",
+        "clients": reports,
+        "pool": {
+            "stages": {s: pooled[s].summary() for s in STAGES},
+            "echo_wait": echo_wait.summary(),
+        },
+    }
+    with open(args.causal_json, "w", encoding="utf-8") as fh:
+        json.dump(artifact, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    with open(args.causal_json, encoding="utf-8") as fh:
+        for report in json.load(fh)["clients"].values():
+            validate_causal_report(report)
+    print(
+        f"  causal: {int(echo_count)} keystrokes attributed across "
+        f"{len(reports)} clients, stage sum within "
+        f"{abs(stage_sum - echo_sum):.3f} ms of echo total -> "
+        f"{args.causal_json}"
+    )
+    return failures
+
+
 def telemetry_stage(args) -> list[str]:
     """Delta feed, Prometheus exposition, health alerts, live socket."""
     failures: list[str] = []
@@ -389,6 +498,10 @@ def _telemetry_live_checks() -> list[str]:
             with contextlib.redirect_stdout(out):
                 cli.top_main([target, "--ticks", "2"])
             results["top"] = out.getvalue()
+            out = io.StringIO()
+            with contextlib.redirect_stdout(out):
+                cli.trace_main(["--attach", target, "--ticks", "2"])
+            results["trace"] = out.getvalue()
         except Exception as exc:  # surfaced as a stage failure below
             results["error"] = repr(exc)
 
@@ -432,9 +545,22 @@ def _telemetry_live_checks() -> list[str]:
                 )
     elif "error" not in results:
         failures.append("telemetry live: top rendered nothing")
+    trace_out = results.get("trace")
+    if isinstance(trace_out, str):
+        # This daemon's clients live elsewhere, so the panel must fall
+        # back to the server-resident view rather than rendering junk.
+        if "repro trace" not in trace_out:
+            failures.append("telemetry live: trace output lacks its header")
+        if "causal chains" not in trace_out and "echo-ack hold" not in trace_out:
+            failures.append(
+                "telemetry live: trace panel shows neither chains nor "
+                "the daemon-side fallback"
+            )
+    elif "error" not in results:
+        failures.append("telemetry live: trace rendered nothing")
     if not failures:
         print(
-            f"  telemetry live: scrape/health/top served on {target} "
+            f"  telemetry live: scrape/health/top/trace served on {target} "
             "against a 2-session daemon"
         )
     return failures
@@ -462,6 +588,9 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--health-json", default="health.json", metavar="PATH"
     )
+    parser.add_argument(
+        "--causal-json", default="causal.json", metavar="PATH"
+    )
     args = parser.parse_args(argv)
 
     session = run_session()
@@ -478,6 +607,7 @@ def main(argv: list[str] | None = None) -> int:
     failures = check(session, doc)
     failures.extend(flight_stage(session, args))
     failures.extend(daemon_stage(args))
+    failures.extend(causal_stage(args))
     failures.extend(telemetry_stage(args))
     ks = doc["histograms"]["keystroke.echo_ms"]
     print(
